@@ -1,0 +1,173 @@
+package relatrust_test
+
+// Ablation benchmarks for the design decisions documented in DESIGN.md:
+// the A* heuristic's difference-set budget, the edge-sampling cap, the
+// choice of weighting function, and the tuple-wise vs cell-wise data
+// repair strategy. Each reports the figure of merit that motivates the
+// chosen default.
+
+import (
+	"testing"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/experiments"
+	"relatrust/internal/gen"
+	"relatrust/internal/repair"
+	"relatrust/internal/search"
+	"relatrust/internal/weights"
+)
+
+// ablationWorkload is a mid-size FD-perturbed workload where the search
+// has real work to do.
+func ablationWorkload(b *testing.B) *experiments.Workload {
+	b.Helper()
+	spec := gen.SubSpec(gen.CensusSpec(), 16)
+	sigma := gen.TwoFDs(spec)
+	w, err := experiments.MakeWorkload(spec, sigma, 1500, 0.34, 0, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkAblationHeuristicBudget sweeps MaxDiffSets: 0 disables the
+// heuristic entirely (best-first), larger values tighten gc(S) at higher
+// per-state cost. The visited-states metric shows the pruning payoff.
+func BenchmarkAblationHeuristicBudget(b *testing.B) {
+	w := ablationWorkload(b)
+	for _, maxDs := range []int{1, 2, 3, 6} {
+		b.Run(benchName("maxDiffSets", maxDs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				an := conflict.New(w.Dirty, w.SigmaD)
+				s := search.NewSearcher(an, weights.NewDistinctCount(w.Dirty), search.Options{
+					Heuristic:   true,
+					MaxDiffSets: maxDs,
+				})
+				res, err := s.Find(s.DeltaPOriginal() / 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res != nil {
+					b.ReportMetric(float64(res.Stats.Visited), "visited")
+					b.ReportMetric(float64(res.Stats.GCCalls), "gc-calls")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEdgeSampling sweeps the per-cluster edge cap feeding
+// difference-set multiplicities: smaller caps are cheaper but loosen the
+// heuristic.
+func BenchmarkAblationEdgeSampling(b *testing.B) {
+	w := ablationWorkload(b)
+	for _, cap := range []int{5, 50, 500} {
+		b.Run(benchName("capPerCluster", cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				an := conflict.New(w.Dirty, w.SigmaD)
+				s := search.NewSearcher(an, weights.NewDistinctCount(w.Dirty), search.Options{
+					Heuristic:     true,
+					CapPerCluster: cap,
+				})
+				res, err := s.Find(s.DeltaPOriginal() / 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res != nil {
+					b.ReportMetric(float64(res.Stats.Visited), "visited")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWeights compares the weighting functions: attr-count is
+// free to evaluate, distinct-count (the paper's choice) and entropy price
+// informativeness but cost a scan per new attribute set.
+func BenchmarkAblationWeights(b *testing.B) {
+	w := ablationWorkload(b)
+	builders := map[string]func() weights.Func{
+		"attr-count":     func() weights.Func { return weights.AttrCount{} },
+		"distinct-count": func() weights.Func { return weights.NewDistinctCount(w.Dirty) },
+		"entropy":        func() weights.Func { return weights.NewEntropy(w.Dirty) },
+	}
+	for name, mk := range builders {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				an := conflict.New(w.Dirty, w.SigmaD)
+				s := search.NewSearcher(an, mk(), search.DefaultOptions())
+				if _, err := s.Find(s.DeltaPOriginal() / 100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRepairStrategy compares the paper's tuple-wise repair
+// (bounded changes per tuple) against the cell-wise chase of the paper's
+// reference [3]; the changed-cells metric shows the quality difference.
+func BenchmarkAblationRepairStrategy(b *testing.B) {
+	w := ablationWorkload(b)
+	b.Run("tuple-wise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := repair.RepairData(w.Dirty, w.SigmaD, nil, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.NumChanges()), "changed-cells")
+		}
+	})
+	b.Run("cell-wise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := repair.RepairDataCellwise(w.Dirty, w.SigmaD, nil, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.NumChanges()), "changed-cells")
+		}
+	})
+}
+
+// BenchmarkAblationParallelSampling measures the parallel Sampling-Repair
+// speedup over the serial form (Section 7 notes the embarrassing
+// parallelism; Range-Repair still wins sequentially, see Figure 13).
+func BenchmarkAblationParallelSampling(b *testing.B) {
+	w := ablationWorkload(b)
+	s, err := w.Session(true, 0, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dp := s.DeltaPOriginal()
+	taus := []int{dp / 10, dp / 5, dp / 3, dp / 2, dp}
+	cfg := repair.Config{Weights: weights.NewDistinctCount(w.Dirty), Seed: 42}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repair.RunSampling(w.Dirty, w.SigmaD, taus, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repair.RunSamplingParallel(w.Dirty, w.SigmaD, taus, cfg, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf []byte
+	for ; v > 0; v /= 10 {
+		buf = append([]byte{byte('0' + v%10)}, buf...)
+	}
+	return string(buf)
+}

@@ -1,0 +1,253 @@
+package relatrust_test
+
+// One benchmark per evaluation figure of the paper (Figures 7-13 — the
+// evaluation has no numbered tables; Figure 8 is its results table), plus
+// micro-benchmarks for the hot paths. Each figure benchmark regenerates
+// the figure's series through the same harness the cmd/experiments binary
+// uses and reports headline numbers as custom metrics.
+//
+// Benchmark scale: the harnesses default to tuple counts scaled down from
+// the paper's (Section 8 ran up to 60k tuples for tens of thousands of
+// seconds); RELATRUST_BENCH_SCALE overrides the multiplier.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"relatrust"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/experiments"
+	"relatrust/internal/fd"
+	"relatrust/internal/gen"
+	"relatrust/internal/repair"
+	"relatrust/internal/search"
+	"relatrust/internal/weights"
+)
+
+func benchConfig() experiments.Config {
+	scale := 0.25
+	if s := os.Getenv("RELATRUST_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	return experiments.Config{Scale: scale, Seed: 42}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: repair quality across the
+// relative-trust spectrum on four error-rate datasets.
+func BenchmarkFigure7(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, p := range points {
+			if p.Combined > best {
+				best = p.Combined
+			}
+		}
+		b.ReportMetric(best, "best-combined-F")
+		b.ReportMetric(float64(len(points)), "points")
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: best achievable quality,
+// uniform-cost baseline versus relative-trust repairs.
+func BenchmarkFigure8(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rt, uc float64
+		for _, r := range rows {
+			f := r.Quality.CombinedF()
+			if r.System == "relative-trust" {
+				rt += f
+			} else {
+				uc += f
+			}
+		}
+		b.ReportMetric(rt/4, "relative-trust-avg-F")
+		b.ReportMetric(uc/4, "uniform-cost-avg-F")
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9: search time and visited states
+// versus the number of tuples (A* vs Best-First).
+func BenchmarkFigure9(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, points)
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10: search time versus the number
+// of attributes.
+func BenchmarkFigure10(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, points)
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11: search time versus the number
+// of FDs (replicated FD).
+func BenchmarkFigure11(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, points)
+	}
+}
+
+// BenchmarkFigure12 regenerates Figure 12: the effect of τr on search
+// effort.
+func BenchmarkFigure12(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var astar, bfirst float64
+		for _, p := range points {
+			if p.Algo == "A*" {
+				astar += p.Seconds
+			} else {
+				bfirst += p.Seconds
+			}
+		}
+		b.ReportMetric(astar, "astar-total-sec")
+		b.ReportMetric(bfirst, "bestfirst-total-sec")
+	}
+}
+
+// BenchmarkFigure13 regenerates Figure 13: Range-Repair versus
+// Sampling-Repair for multi-repair generation.
+func BenchmarkFigure13(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rangeSec, sampleSec float64
+		for _, p := range points {
+			if p.Method == "Range-Repair" {
+				rangeSec += p.Seconds
+			} else {
+				sampleSec += p.Seconds
+			}
+		}
+		b.ReportMetric(rangeSec, "range-total-sec")
+		b.ReportMetric(sampleSec, "sampling-total-sec")
+		if rangeSec > 0 {
+			b.ReportMetric(sampleSec/rangeSec, "sampling/range")
+		}
+	}
+}
+
+func reportSpeedup(b *testing.B, points []experiments.PerfPoint) {
+	var astar, bfirst float64
+	for _, p := range points {
+		if p.Seconds < 0 {
+			continue
+		}
+		if p.Algo == "A*" {
+			astar += p.Seconds
+		} else {
+			bfirst += p.Seconds
+		}
+	}
+	b.ReportMetric(astar, "astar-total-sec")
+	b.ReportMetric(bfirst, "bestfirst-total-sec")
+	if astar > 0 {
+		b.ReportMetric(bfirst/astar, "bestfirst/astar")
+	}
+}
+
+// --- micro-benchmarks for the hot paths ---
+
+func benchWorkload(b *testing.B, n int) (*relatrust.Instance, fd.Set) {
+	b.Helper()
+	spec := gen.SubSpec(gen.CensusSpec(), 12)
+	sigma := gen.TwoFDs(spec)
+	w, err := experiments.MakeWorkload(spec, sigma, n, 0.34, 0.01, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w.Dirty, w.SigmaD
+}
+
+// BenchmarkConflictAnalysis measures building the violation clusters.
+func BenchmarkConflictAnalysis(b *testing.B) {
+	in, sigma := benchWorkload(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conflict.New(in, sigma)
+	}
+}
+
+// BenchmarkCoverSize measures one vertex-cover query (the goal test the
+// search runs per visited state).
+func BenchmarkCoverSize(b *testing.B) {
+	in, sigma := benchWorkload(b, 5000)
+	a := conflict.New(in, sigma)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.CoverSize(nil)
+	}
+}
+
+// BenchmarkFDSearch measures a complete A* FD-modification search.
+func BenchmarkFDSearch(b *testing.B) {
+	in, sigma := benchWorkload(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := search.NewSearcher(conflict.New(in, sigma), weights.NewDistinctCount(in), search.DefaultOptions())
+		if _, err := s.Find(s.DeltaPOriginal() / 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepairData measures materializing a data repair.
+func BenchmarkRepairData(b *testing.B) {
+	in, sigma := benchWorkload(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repair.RepairData(in, sigma, nil, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuggestRepairs measures the full public-API pipeline: analyze,
+// search the whole trust range, and materialize every repair.
+func BenchmarkSuggestRepairs(b *testing.B) {
+	in, sigma := benchWorkload(b, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relatrust.SuggestRepairs(in, sigma, relatrust.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's evaluation figures (Section
+// 8) as printed tables and series.
+//
+// Usage:
+//
+//	experiments -fig 7           # one figure
+//	experiments -fig all -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relatrust/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 7..13 or \"all\"")
+		scale = flag.Float64("scale", 1, "tuple-count multiplier (paper sizes ≈ 4-10)")
+		seed  = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+
+	run := func(name string, f func() (string, error)) {
+		fmt.Printf("=== %s ===\n", name)
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	want := func(n string) bool { return *fig == "all" || *fig == n }
+
+	if want("7") {
+		run("Figure 7: repair quality vs relative trust", func() (string, error) {
+			p, err := experiments.Figure7(cfg)
+			return experiments.FormatFigure7(p), err
+		})
+	}
+	if want("8") {
+		run("Figure 8: best quality, uniform-cost vs relative-trust", func() (string, error) {
+			p, err := experiments.Figure8(cfg)
+			return experiments.FormatFigure8(p), err
+		})
+	}
+	if want("9") {
+		run("Figure 9: scalability with the number of tuples", func() (string, error) {
+			p, err := experiments.Figure9(cfg)
+			return experiments.FormatPerf(p, "tuples"), err
+		})
+	}
+	if want("10") {
+		run("Figure 10: scalability with the number of attributes", func() (string, error) {
+			p, err := experiments.Figure10(cfg)
+			return experiments.FormatPerf(p, "attrs"), err
+		})
+	}
+	if want("11") {
+		run("Figure 11: scalability with the number of FDs", func() (string, error) {
+			p, err := experiments.Figure11(cfg)
+			return experiments.FormatPerf(p, "FDs"), err
+		})
+	}
+	if want("12") {
+		run("Figure 12: effect of the relative trust parameter", func() (string, error) {
+			p, err := experiments.Figure12(cfg)
+			return experiments.FormatFigure12(p), err
+		})
+	}
+	if want("13") {
+		run("Figure 13: generating multiple repairs", func() (string, error) {
+			p, err := experiments.Figure13(cfg)
+			return experiments.FormatFigure13(p), err
+		})
+	}
+	if !strings.Contains("7 8 9 10 11 12 13 all", *fig) {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

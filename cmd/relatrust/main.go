@@ -1,0 +1,171 @@
+// Command relatrust repairs a CSV data set against a set of functional
+// dependencies, suggesting modifications of the data and/or the FDs across
+// the relative-trust spectrum.
+//
+// Usage:
+//
+//	relatrust -data people.csv -fds "Surname,GivenName->Income" [flags]
+//
+// With -tau N it prints the single repair for that cell-change budget
+// (Algorithm 1 of the paper); without it, the full Pareto frontier of
+// suggested repairs (Algorithm 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relatrust"
+
+	"relatrust/internal/cfd"
+	"relatrust/internal/report"
+	"relatrust/internal/weights"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "relatrust:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataPath  = flag.String("data", "", "CSV file (header row defines the schema)")
+		fdSpec    = flag.String("fds", "", "FDs, e.g. \"A,B->C; D->E\" (or @file to read them from a file)")
+		tau       = flag.Int("tau", -1, "cell-change budget; -1 sweeps the whole trust spectrum")
+		weighting = flag.String("weights", "distinct-count", "FD-modification weighting: attr-count | distinct-count | entropy")
+		bestFirst = flag.Bool("best-first", false, "use best-first search instead of A*")
+		seed      = flag.Int64("seed", 1, "seed for the randomized data-repair order")
+		outPath   = flag.String("o", "", "write the repaired data of the last printed repair to this CSV file")
+		showData  = flag.Bool("show-cells", false, "list every changed cell per repair")
+		maxShown  = flag.Int("max-cells", 20, "changed cells to list per repair with -show-cells")
+	)
+	flag.Parse()
+	if *dataPath == "" || *fdSpec == "" {
+		flag.Usage()
+		return fmt.Errorf("-data and -fds are required")
+	}
+
+	in, err := relatrust.ReadCSVFile(*dataPath)
+	if err != nil {
+		return err
+	}
+	spec := *fdSpec
+	if strings.HasPrefix(spec, "@") {
+		raw, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return err
+		}
+		spec = string(raw)
+	}
+	w, err := weights.ByName(*weighting, in)
+	if err != nil {
+		return err
+	}
+	if strings.Contains(spec, "|") {
+		// Conditional FDs take the CFD engine (single-τ only).
+		return runCFD(in, spec, *tau, w, *seed)
+	}
+	sigma, err := relatrust.ParseFDs(in.Schema, spec)
+	if err != nil {
+		return err
+	}
+	opt := relatrust.Options{Weights: w, BestFirst: *bestFirst, Seed: *seed}
+
+	fmt.Printf("%d tuples × %d attributes, Σ = %s\n", in.N(), in.Schema.Width(), sigma.Format(in.Schema))
+	if relatrust.Satisfies(in, sigma) {
+		fmt.Println("the data already satisfies every FD; nothing to repair")
+		return nil
+	}
+	dp, err := relatrust.MaxBudget(in, sigma, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("δP(Σ, I) = %d (cell-change budget for a pure data repair)\n\n", dp)
+
+	var repairs []*relatrust.Repair
+	if *tau >= 0 {
+		r, err := relatrust.RepairWithBudget(in, sigma, *tau, opt)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			fmt.Printf("no FD relaxation fits τ=%d; raise the budget\n", *tau)
+			return nil
+		}
+		repairs = []*relatrust.Repair{r}
+	} else {
+		repairs, err = relatrust.SuggestRepairs(in, sigma, opt)
+		if err != nil {
+			return err
+		}
+	}
+
+	if err := report.Spectrum(os.Stdout, in, repairs); err != nil {
+		return err
+	}
+	if *showData {
+		for i, r := range repairs {
+			fmt.Printf("\nchanges of repair %d:\n", i+1)
+			if err := report.Changes(os.Stdout, in, r, report.Options{MaxCells: *maxShown}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *outPath != "" && len(repairs) > 0 {
+		last := repairs[len(repairs)-1]
+		ground := last.Data.Instance.Ground("repaired_")
+		if err := writeCSV(*outPath, ground); err != nil {
+			return err
+		}
+		fmt.Printf("wrote repaired data of repair %d to %s\n", len(repairs), *outPath)
+	}
+	return nil
+}
+
+// runCFD repairs against conditional FDs (pattern syntax "A,B->C | a,_").
+func runCFD(in *relatrust.Instance, spec string, tau int, w weights.Func, seed int64) error {
+	set, err := cfd.ParseSet(in.Schema, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d tuples, CFDs = %s\n", in.N(), set.Format(in.Schema))
+	if set.SatisfiedBy(in) {
+		fmt.Println("the data already satisfies every CFD")
+		return nil
+	}
+	if tau < 0 {
+		return fmt.Errorf("CFD mode needs an explicit -tau budget")
+	}
+	r, err := cfd.RepairWithBudget(in, set, tau, cfd.Config{Weights: w, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		fmt.Printf("no CFD relaxation fits τ=%d; raise the budget\n", tau)
+		return nil
+	}
+	fmt.Printf("Σ' = %s\n", r.Set.Format(in.Schema))
+	fmt.Printf("cell changes: %d\n", r.NumChanges())
+	for _, c := range r.Changed {
+		fmt.Printf("  %s: %s → %s\n", c.Format(in.Schema),
+			in.Tuples[c.Tuple][c.Attr], r.Instance.Tuples[c.Tuple][c.Attr])
+	}
+	return nil
+}
+
+func writeCSV(path string, in *relatrust.Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := relatrust.WriteCSV(f, in); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

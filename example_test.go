@@ -1,0 +1,71 @@
+package relatrust_test
+
+// Runnable godoc examples for the public API. Each output block is
+// verified by go test, so the documentation cannot drift from behavior.
+
+import (
+	"fmt"
+	"strings"
+
+	"relatrust"
+)
+
+const exampleCSV = `Dept,Manager,Floor
+sales,pat,2
+sales,sam,2
+eng,lee,3
+`
+
+func ExampleSuggestRepairs() {
+	inst, _ := relatrust.ReadCSV(strings.NewReader(exampleCSV))
+	sigma, _ := relatrust.ParseFDs(inst.Schema, "Dept->Manager")
+
+	repairs, _ := relatrust.SuggestRepairs(inst, sigma, relatrust.Options{
+		Weights: relatrust.AttrCountWeights(),
+		Seed:    1,
+	})
+	for _, r := range repairs {
+		fmt.Printf("τ≤%d: Σ'={%s}, %d cell change(s)\n",
+			r.Tau, r.Sigma.Format(inst.Schema), r.Data.NumChanges())
+	}
+	// Output:
+	// τ≤1: Σ'={Dept->Manager}, 1 cell change(s)
+}
+
+func ExampleRepairWithBudget() {
+	inst, _ := relatrust.ReadCSV(strings.NewReader(exampleCSV))
+	sigma, _ := relatrust.ParseFDs(inst.Schema, "Dept->Manager")
+
+	// τ=0 forbids data changes: with Floor available to append, the FD
+	// itself must be relaxed — but the violating pair shares the floor,
+	// so no relaxation exists and the answer is φ (nil).
+	r, _ := relatrust.RepairWithBudget(inst, sigma, 0, relatrust.Options{})
+	fmt.Println("repair at τ=0:", r)
+
+	// τ=1 allows one cell change and keeps the FD.
+	r, _ = relatrust.RepairWithBudget(inst, sigma, 1, relatrust.Options{Seed: 1})
+	fmt.Printf("repair at τ=1: %d change(s), Σ' unchanged: %v\n",
+		r.Data.NumChanges(), r.Sigma.Format(inst.Schema) == "Dept->Manager")
+	// Output:
+	// repair at τ=0: <nil>
+	// repair at τ=1: 1 change(s), Σ' unchanged: true
+}
+
+func ExampleSatisfies() {
+	inst, _ := relatrust.ReadCSV(strings.NewReader(exampleCSV))
+	sigma, _ := relatrust.ParseFDs(inst.Schema, "Dept->Manager; Dept->Floor")
+	fmt.Println(relatrust.Satisfies(inst, sigma))
+	fmt.Println(len(relatrust.Violations(inst, sigma, 0)))
+	// Output:
+	// false
+	// 1
+}
+
+func ExampleMaxBudget() {
+	inst, _ := relatrust.ReadCSV(strings.NewReader(exampleCSV))
+	sigma, _ := relatrust.ParseFDs(inst.Schema, "Dept->Manager")
+	dp, _ := relatrust.MaxBudget(inst, sigma, relatrust.Options{})
+	fmt.Println(dp)
+	// Output:
+	// 1
+}

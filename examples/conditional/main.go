@@ -1,0 +1,74 @@
+// Conditional demonstrates the package's extension of relative trust to
+// Conditional Functional Dependencies (CFDs) — the first future-work item
+// of the paper's Section 10. A CFD applies only to tuples matching a
+// pattern, so the "is the data wrong or is the rule wrong?" question gains
+// a third answer: the rule may be right but over-scoped.
+//
+// Run with: go run ./examples/conditional
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relatrust/internal/cfd"
+	"relatrust/internal/testkit"
+)
+
+func main() {
+	// Addresses from two countries. In the US, a ZIP code determines the
+	// city; in the UK, outward codes span districts, so the same rule is
+	// simply wrong there.
+	in := testkit.Build([]string{"CC", "ZIP", "City", "Street"}, [][]string{
+		{"US", "62701", "Springfield", "Elm St"},
+		{"US", "62701", "Springfeld", "Oak St"}, // typo: violates the US rule
+		{"US", "10001", "New York", "5th Ave"},
+		{"UK", "SW1", "London", "Abbey Rd"},
+		{"UK", "SW1", "Westminster", "Long Ln"}, // fine in the UK
+	})
+	fmt.Println(in)
+
+	// First try the unconditional FD: it fires on the UK pair too.
+	plain, err := cfd.ParseSet(in.Schema, "ZIP->City")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unconditional %s: %d violations\n",
+		plain.Format(in.Schema), len(plain.Violations(in, 0)))
+
+	// The conditional version scopes the rule to CC=US.
+	scoped, err := cfd.ParseSet(in.Schema, "CC,ZIP->City | US,_")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conditional   %s: %d violations\n\n",
+		scoped.Format(in.Schema), len(scoped.Violations(in, 0)))
+
+	// Repair under generous trust: only the genuine US typo is touched.
+	r, err := cfd.RepairWithBudget(in, scoped, 4, cfd.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repair with τ=4: %d change(s)\n", r.NumChanges())
+	for _, c := range r.Changed {
+		fmt.Printf("  %s: %s → %s\n", c.Format(in.Schema),
+			in.Tuples[c.Tuple][c.Attr], r.Instance.Tuples[c.Tuple][c.Attr])
+	}
+
+	// And a constant pattern: every UK tuple must carry Region SW1A — the
+	// two existing ones don't, and no rule relaxation can fix a constant
+	// clash, so the budget must pay for them.
+	constSet, err := cfd.ParseSet(in.Schema, "CC->ZIP | UK || SW1A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r, _ := cfd.RepairWithBudget(in, constSet, 1, cfd.Config{}); r == nil {
+		fmt.Println("\nconstant pattern with τ=1: infeasible (two tuples must change)")
+	}
+	r2, err := cfd.RepairWithBudget(in, constSet, 2, cfd.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("constant pattern with τ=2: %d changes, satisfied=%v\n",
+		r2.NumChanges(), r2.Set.SatisfiedBy(r2.Instance))
+}

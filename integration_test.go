@@ -1,0 +1,189 @@
+package relatrust_test
+
+// Integration tests spanning the whole pipeline: generate a census-like
+// workload with known ground truth, perturb both sides, repair across the
+// trust spectrum, and check every paper-level invariant at once. These
+// complement the per-package unit and property tests.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"relatrust"
+
+	"relatrust/internal/discovery"
+	"relatrust/internal/experiments"
+	"relatrust/internal/fd"
+	"relatrust/internal/gen"
+	"relatrust/internal/metrics"
+	"relatrust/internal/relation"
+)
+
+func TestPipelinePerturbRepairEvaluate(t *testing.T) {
+	spec := gen.SubSpec(gen.CensusSpec(), 12)
+	sigma := fd.Set{gen.PaperFD(spec)}
+	w, err := experiments.MakeWorkload(spec, sigma, 600, 0.5, 0.03, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := relatrust.Options{Weights: relatrust.DistinctCountWeights(w.Dirty), Seed: 9}
+	repairs, err := relatrust.SuggestRepairs(w.Dirty, w.SigmaD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) < 3 {
+		t.Fatalf("spectrum too small: %d repairs", len(repairs))
+	}
+	dp, err := relatrust.MaxBudget(w.Dirty, w.SigmaD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prevCost := -1.0
+	prevDelta := dp + 1
+	bestF, bestAt := -1.0, 0
+	for i, r := range repairs {
+		// (1) Consistency and budget.
+		if !relatrust.Satisfies(r.Data.Instance, r.Sigma) {
+			t.Fatalf("repair %d inconsistent", i)
+		}
+		if r.Data.NumChanges() > r.Tau {
+			t.Fatalf("repair %d changes %d > τ %d", i, r.Data.NumChanges(), r.Tau)
+		}
+		// (2) Strict Pareto staircase.
+		if r.FDCost <= prevCost {
+			t.Fatalf("repair %d cost %v not increasing after %v", i, r.FDCost, prevCost)
+		}
+		if r.DeltaP >= prevDelta {
+			t.Fatalf("repair %d δP %d not decreasing after %d", i, r.DeltaP, prevDelta)
+		}
+		prevCost, prevDelta = r.FDCost, r.DeltaP
+		// (3) Only relaxations of Σd.
+		if !r.Sigma.IsRelaxationOf(w.SigmaD) {
+			t.Fatalf("repair %d is not a relaxation", i)
+		}
+		// (4) Quality is well-defined against ground truth.
+		q, err := w.Evaluate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := q.CombinedF(); f > bestF {
+			bestF, bestAt = f, i
+		}
+	}
+	// (5) With both error kinds injected, the best repair should sit
+	// strictly inside the spectrum — the paper's core claim.
+	if bestAt == 0 || bestAt == len(repairs)-1 {
+		t.Logf("warning: best combined F %.3f at spectrum endpoint %d/%d", bestF, bestAt, len(repairs)-1)
+	}
+	if bestF <= 0 {
+		t.Fatalf("best combined F = %v; repairs recover nothing", bestF)
+	}
+}
+
+func TestPipelineDiscoveryToRepair(t *testing.T) {
+	// Discover FDs on clean data, corrupt some cells, and confirm a
+	// full-trust-in-FDs repair restores consistency with bounded changes.
+	spec := gen.SubSpec(gen.CensusSpec(), 8)
+	planted := fd.MustNew(relation.NewAttrSet(0, 1), 6)
+	clean, err := gen.Generate(spec, fd.Set{planted}, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := discovery.Discover(clean, discovery.Options{MaxLHS: 2, Attrs: relation.NewAttrSet(0, 1, 6)})
+	var target *fd.FD
+	for i := range found {
+		if found[i].RHS == 6 {
+			target = &found[i]
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("planted FD not discovered")
+	}
+	p, err := gen.PerturbData(clean, fd.Set{*target}, 0.02, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := relatrust.RepairWithBudget(p.Instance, fd.Set{*target}, len(p.Cells)*3, relatrust.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("no repair")
+	}
+	if !relatrust.Satisfies(r.Data.Instance, r.Sigma) {
+		t.Fatal("inconsistent repair")
+	}
+	prec, rec, err := metrics.EvalData(clean, p.Instance, r.Data.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec == 0 && rec == 0 && len(p.Cells) > 0 {
+		t.Log("repair restored nothing exactly — acceptable, V-instances count as correct only when variables land on erroneous cells")
+	}
+}
+
+func TestPipelineCSVRoundTripThroughRepair(t *testing.T) {
+	// CSV in → repair → ground → CSV out → re-read → still satisfied.
+	csv := "A,B,C\n1,x,p\n1,y,p\n2,z,q\n2,z,q\n"
+	in, err := relatrust.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := relatrust.ParseFDs(in.Schema, "A->B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := relatrust.RepairWithBudget(in, sigma, 2, relatrust.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("no repair")
+	}
+	ground := r.Data.Instance.Ground("fresh_")
+	var b strings.Builder
+	if err := relatrust.WriteCSV(&b, ground); err != nil {
+		t.Fatal(err)
+	}
+	back, err := relatrust.ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relatrust.Satisfies(back, r.Sigma) {
+		t.Fatal("round-tripped repair no longer satisfies Σ'")
+	}
+}
+
+func TestPipelineStressManySeeds(t *testing.T) {
+	// Same workload, many repair seeds: every seed must give a valid
+	// repair within budget (randomization affects which cells change, not
+	// correctness).
+	spec := gen.SubSpec(gen.CensusSpec(), 10)
+	sigma := gen.TwoFDs(spec)
+	w, err := experiments.MakeWorkload(spec, sigma, 300, 0.34, 0.02, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		seed := rng.Int63()
+		opt := relatrust.Options{Seed: seed}
+		dp, err := relatrust.MaxBudget(w.Dirty, w.SigmaD, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := relatrust.RepairWithBudget(w.Dirty, w.SigmaD, dp/2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == nil {
+			continue
+		}
+		if !relatrust.Satisfies(r.Data.Instance, r.Sigma) || r.Data.NumChanges() > dp/2 {
+			t.Fatalf("seed %d: invalid repair", seed)
+		}
+	}
+}

@@ -1,0 +1,622 @@
+// Package conflict implements the conflict graph of an instance and an FD
+// set (Definition 6 of the paper), the greedy 2-approximate minimum vertex
+// cover used throughout the repair algorithms, and difference sets with
+// edge multiplicities (Section 5.2).
+//
+// Conflict graphs of badly-violated FDs can have Θ(n²) edges, so the
+// implementation never materializes the full edge set. The greedy
+// 2-approximation of minimum vertex cover is the endpoint set of a maximal
+// matching; within one LHS-cluster the conflict graph is complete
+// multipartite with the RHS subgroups as parts, so a maximal matching is
+// found cluster-by-cluster in time linear in the number of violating
+// tuples.
+//
+// A key structural fact drives the design: for every Σ′ ∈ S(Σ) (LHS
+// extensions only), a tuple pair violating an extended FD XiYi→Ai also
+// violates the original Xi→Ai — agreement on XiYi implies agreement on Xi.
+// Hence the conflict graph of any candidate Σ′ is a subgraph of the
+// conflict graph of Σ, and an Analysis built once from (I, Σ) can answer
+// vertex-cover queries for every extension vector by refining its stored
+// clusters instead of rescanning the instance.
+package conflict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// Edge is one conflict-graph edge: a violating tuple pair (T1 < T2).
+type Edge struct {
+	T1, T2 int32
+}
+
+// Analysis holds the per-FD violation clusters of an instance with respect
+// to a base FD set, and answers vertex-cover and difference-set queries for
+// arbitrary LHS-extension vectors over that base set.
+//
+// An Analysis is immutable after New and safe for concurrent readers except
+// for the scratch buffers used by Cover*; callers that share an Analysis
+// across goroutines must give each goroutine its own Analysis.
+type Analysis struct {
+	In    *relation.Instance
+	Sigma fd.Set
+
+	// clusters[i] lists, for FD i, the groups of tuples that share the
+	// original LHS projection and contain at least two distinct RHS
+	// values. Only such groups can contribute violations for any
+	// extension of FD i.
+	clusters [][][]int32
+
+	// protected, when set, steers pass-2 cover construction away from
+	// the marked tuples (see CoverAvoiding).
+	protected func(int32) bool
+
+	// scratch for matching and cover runs (epoch-versioned so no
+	// clearing pass is needed between queries).
+	matched      []int
+	epoch        int
+	flatScratch  []flatEntry
+	coverScratch []int32
+	groupScratch map[string]*groupBuf
+}
+
+type flatEntry struct {
+	tuple int32
+	sub   int32
+}
+
+type groupBuf struct {
+	subs   []([]int32) // subgroup -> members
+	subIdx map[string]int
+	order  int
+}
+
+// New builds the analysis in O(|Σ|·n) expected time.
+func New(in *relation.Instance, sigma fd.Set) *Analysis {
+	return NewFiltered(in, sigma, nil)
+}
+
+// NewFiltered builds the analysis considering, for FD i, only the tuples
+// accepted by filters[i] (nil filters, or a nil entry, accept everything).
+// This is the hook conditional constraints use: a CFD is its embedded FD
+// restricted to the tuples matching its pattern, and every cover and
+// difference-set query then transparently respects the restriction.
+func NewFiltered(in *relation.Instance, sigma fd.Set, filters []func(relation.Tuple) bool) *Analysis {
+	a := &Analysis{
+		In:       in,
+		Sigma:    sigma,
+		clusters: make([][][]int32, len(sigma)),
+		matched:  make([]int, in.N()),
+	}
+	for fi, f := range sigma {
+		var accept func(relation.Tuple) bool
+		if filters != nil {
+			accept = filters[fi]
+		}
+		groups := make(map[string][]int32, in.N())
+		order := make([]string, 0, in.N())
+		for t := 0; t < in.N(); t++ {
+			if accept != nil && !accept(in.Tuples[t]) {
+				continue
+			}
+			key := in.Project(t, f.LHS)
+			if _, seen := groups[key]; !seen {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], int32(t))
+		}
+		for _, key := range order {
+			g := groups[key]
+			if len(g) < 2 {
+				continue
+			}
+			// Keep the group only if it has ≥2 distinct RHS values.
+			first := in.Tuples[g[0]][f.RHS]
+			mixed := false
+			for _, t := range g[1:] {
+				if !in.Tuples[t][f.RHS].Equal(first) {
+					mixed = true
+					break
+				}
+			}
+			if mixed {
+				a.clusters[fi] = append(a.clusters[fi], g)
+			}
+		}
+	}
+	return a
+}
+
+// N returns the number of tuples in the analyzed instance.
+func (a *Analysis) N() int { return a.In.N() }
+
+// ViolatingTuples returns how many tuples participate in at least one
+// violating cluster of the base FD set; useful for sizing reports.
+func (a *Analysis) ViolatingTuples() int {
+	seen := make(map[int32]bool)
+	for _, cl := range a.clusters {
+		for _, g := range cl {
+			for _, t := range g {
+				seen[t] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// CoverSize returns |C2opt(Σ′, I)| where Σ′ extends the base set by ext
+// (ext[i] is appended to the LHS of FD i; a nil ext means Σ′ = Σ).
+func (a *Analysis) CoverSize(ext []relation.AttrSet) int {
+	return len(a.cover(ext))
+}
+
+// Cover returns the tuple indices of C2opt(Σ′, I) in increasing order.
+func (a *Analysis) Cover(ext []relation.AttrSet) []int32 {
+	c := append([]int32(nil), a.cover(ext)...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+// CoverAvoiding returns a vertex cover that keeps tuples marked protected
+// out of the cover whenever some valid cover of equal per-group structure
+// allows it — used by pinned-cell repairs, where rewriting a protected
+// tuple may be impossible. The 2-approximation certificate still applies.
+func (a *Analysis) CoverAvoiding(ext []relation.AttrSet, protected func(int32) bool) []int32 {
+	a.protected = protected
+	defer func() { a.protected = nil }()
+	return a.Cover(ext)
+}
+
+// cover computes a 2-approximate minimum vertex cover of the conflict
+// graph of Σ′ in two passes over the violation clusters:
+//
+//  1. a maximal matching M — the classical certificate |VC_opt| ≥ |M| —
+//     found by pairing unmatched tuples across RHS subgroups of each
+//     refined group;
+//  2. a sequential "all but the largest subgroup" cover: per refined
+//     group, every not-yet-covered tuple outside the subgroup with the
+//     most uncovered members joins the cover. This covers every edge of
+//     the group and never adds more vertices than taking both endpoints
+//     of the group's matched pairs, so it tracks the paper's worked
+//     examples (which report minimum covers on small graphs) while
+//     staying within the guarantee.
+//
+// The pass-2 cover is returned when it respects the 2·|M| certificate;
+// otherwise the matched endpoints are the provable fallback. The returned
+// slice aliases internal scratch; callers that retain it must copy (Cover
+// does).
+func (a *Analysis) cover(ext []relation.AttrSet) []int32 {
+	matchedPairs := 0
+	a.epoch++
+	for fi, f := range a.Sigma {
+		y := a.extOf(ext, fi)
+		for _, g := range a.clusters[fi] {
+			matchedPairs += a.matchCluster(g, f.RHS, y)
+		}
+	}
+	matchEpoch := a.epoch
+
+	a.epoch++
+	a.coverScratch = a.coverScratch[:0]
+	for fi, f := range a.Sigma {
+		y := a.extOf(ext, fi)
+		for _, g := range a.clusters[fi] {
+			a.coverCluster(g, f.RHS, y, a.protected)
+		}
+	}
+	if len(a.coverScratch) <= 2*matchedPairs {
+		return a.coverScratch
+	}
+	// Fallback preserving the provable factor 2: both endpoints of M.
+	// (Not expected in practice; kept for adversarial cluster overlap.)
+	out := a.coverScratch[:0]
+	for t, e := range a.matched {
+		if e == matchEpoch {
+			out = append(out, int32(t))
+		}
+	}
+	a.coverScratch = out
+	return out
+}
+
+// extOf returns the extension attributes of FD fi beyond its own LHS.
+func (a *Analysis) extOf(ext []relation.AttrSet, fi int) relation.AttrSet {
+	if ext == nil {
+		return 0
+	}
+	return ext[fi].Diff(a.Sigma[fi].LHS)
+}
+
+// MatchingSize returns the number of pairs in the maximal matching of the
+// conflict graph of Σ′ (base set extended by ext). It is a lower bound on
+// every vertex cover of that graph — any algorithm's, not just this
+// package's — which makes it the right quantity for feasibility floors.
+func (a *Analysis) MatchingSize(ext []relation.AttrSet) int {
+	a.epoch++
+	pairs := 0
+	for fi, f := range a.Sigma {
+		y := a.extOf(ext, fi)
+		for _, g := range a.clusters[fi] {
+			pairs += a.matchCluster(g, f.RHS, y)
+		}
+	}
+	return pairs
+}
+
+// PermanentMatching returns the size of a maximal matching over the
+// conflict edges that no LHS extension can ever resolve: pairs of tuples
+// identical on every attribute except some FD's RHS. Multiplied by α it is
+// a hard lower bound on δP(Σ′, I) for every Σ′ ∈ S(Σ) — if it exceeds τ,
+// no τ-constrained repair exists and the search can return φ immediately
+// instead of exhausting the state space.
+func (a *Analysis) PermanentMatching() int {
+	width := a.In.Schema.Width()
+	ext := make([]relation.AttrSet, len(a.Sigma))
+	for i, f := range a.Sigma {
+		ext[i] = relation.FullSet(width).Diff(f.LHS).Remove(f.RHS)
+	}
+	return a.MatchingSize(ext)
+}
+
+// buildGroups refines one cluster by the extension attributes y, skipping
+// tuples already marked in the current epoch, and returns the refined
+// groups in deterministic encounter order.
+func (a *Analysis) buildGroups(g []int32, rhs int, y relation.AttrSet) []string {
+	if a.groupScratch == nil {
+		a.groupScratch = make(map[string]*groupBuf)
+	}
+	groups := a.groupScratch
+	for k := range groups {
+		delete(groups, k)
+	}
+	orderKeys := make([]string, 0, 4)
+	for _, t := range g {
+		if a.matched[t] == a.epoch {
+			continue // already matched/covered through another FD or cluster
+		}
+		var key string
+		if !y.IsEmpty() {
+			key = a.In.Project(int(t), y)
+		}
+		gb, ok := groups[key]
+		if !ok {
+			gb = &groupBuf{subIdx: make(map[string]int, 2)}
+			groups[key] = gb
+			orderKeys = append(orderKeys, key)
+		}
+		rkey := a.In.Tuples[t][rhs].Key()
+		si, ok := gb.subIdx[rkey]
+		if !ok {
+			si = len(gb.subs)
+			gb.subIdx[rkey] = si
+			gb.subs = append(gb.subs, nil)
+		}
+		gb.subs[si] = append(gb.subs[si], t)
+	}
+	return orderKeys
+}
+
+// matchCluster greedily matches unmatched tuples across RHS subgroups of
+// each refined group and returns the number of pairs matched.
+func (a *Analysis) matchCluster(g []int32, rhs int, y relation.AttrSet) int {
+	orderKeys := a.buildGroups(g, rhs, y)
+	pairs := 0
+	for _, key := range orderKeys {
+		gb := a.groupScratch[key]
+		if len(gb.subs) < 2 {
+			continue
+		}
+		flat := a.flatScratch[:0]
+		for si, sub := range gb.subs {
+			for _, t := range sub {
+				flat = append(flat, flatEntry{tuple: t, sub: int32(si)})
+			}
+		}
+		a.flatScratch = flat
+		// Complete multipartite matching: pair the lowest-subgroup entry
+		// with the highest-subgroup entry until the remainder collapses
+		// into a single subgroup (entries are grouped by subgroup index
+		// in ascending order already).
+		i, j := 0, len(flat)-1
+		for i < j && flat[i].sub != flat[j].sub {
+			a.matched[flat[i].tuple] = a.epoch
+			a.matched[flat[j].tuple] = a.epoch
+			pairs++
+			i++
+			j--
+		}
+	}
+	return pairs
+}
+
+// coverCluster adds, per refined group, every uncovered tuple outside one
+// exempted subgroup to the cover scratch, marking them covered for
+// subsequent clusters. The exempted subgroup is the one with the most
+// uncovered members — or, when a protected predicate is supplied, the one
+// sheltering the most protected tuples (ties broken by size, then by
+// order), so pinned tuples stay out of the cover whenever a valid cover
+// allows it.
+func (a *Analysis) coverCluster(g []int32, rhs int, y relation.AttrSet, protected func(int32) bool) {
+	orderKeys := a.buildGroups(g, rhs, y)
+	for _, key := range orderKeys {
+		gb := a.groupScratch[key]
+		if len(gb.subs) < 2 {
+			continue
+		}
+		exempt := 0
+		if protected == nil {
+			for si := 1; si < len(gb.subs); si++ {
+				if len(gb.subs[si]) > len(gb.subs[exempt]) {
+					exempt = si
+				}
+			}
+		} else {
+			bestProt := -1
+			for si, sub := range gb.subs {
+				prot := 0
+				for _, t := range sub {
+					if protected(t) {
+						prot++
+					}
+				}
+				if prot > bestProt || (prot == bestProt && len(sub) > len(gb.subs[exempt])) {
+					bestProt = prot
+					exempt = si
+				}
+			}
+		}
+		for si, sub := range gb.subs {
+			if si == exempt {
+				continue
+			}
+			for _, t := range sub {
+				a.matched[t] = a.epoch
+				a.coverScratch = append(a.coverScratch, t)
+			}
+		}
+	}
+}
+
+// HasViolation reports whether Σ′ (base set extended by ext) still has any
+// violating pair in the instance.
+func (a *Analysis) HasViolation(ext []relation.AttrSet) bool {
+	return a.CoverSize(ext) > 0
+}
+
+// MatchingEdgeSample returns up to cap edges of a maximal matching of the
+// base conflict graph (cap <= 0 means all). The edges are globally
+// vertex-disjoint, so for any Σ′ ∈ S(Σ) the edges of the sample still
+// violating Σ′ form a matching of Σ′'s conflict graph — their count lower
+// bounds every vertex cover of it. This powers the knapsack half of the
+// A* heuristic.
+func (a *Analysis) MatchingEdgeSample(cap int) []Edge {
+	a.epoch++
+	var out []Edge
+	for fi, f := range a.Sigma {
+		for _, g := range a.clusters[fi] {
+			out = a.matchClusterEdges(g, f.RHS, out, cap)
+			if cap > 0 && len(out) >= cap {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// matchClusterEdges is matchCluster collecting the matched pairs.
+func (a *Analysis) matchClusterEdges(g []int32, rhs int, out []Edge, cap int) []Edge {
+	orderKeys := a.buildGroups(g, rhs, 0)
+	for _, key := range orderKeys {
+		gb := a.groupScratch[key]
+		if len(gb.subs) < 2 {
+			continue
+		}
+		flat := a.flatScratch[:0]
+		for si, sub := range gb.subs {
+			for _, t := range sub {
+				flat = append(flat, flatEntry{tuple: t, sub: int32(si)})
+			}
+		}
+		a.flatScratch = flat
+		i, j := 0, len(flat)-1
+		for i < j && flat[i].sub != flat[j].sub {
+			t1, t2 := flat[i].tuple, flat[j].tuple
+			a.matched[t1] = a.epoch
+			a.matched[t2] = a.epoch
+			if t1 > t2 {
+				t1, t2 = t2, t1
+			}
+			out = append(out, Edge{T1: t1, T2: t2})
+			if cap > 0 && len(out) >= cap {
+				return out
+			}
+			i++
+			j--
+		}
+	}
+	return out
+}
+
+// DiffSet aggregates the conflict-graph edges that share one difference set
+// (the attributes on which the edge's tuples disagree).
+type DiffSet struct {
+	Attrs relation.AttrSet
+	Edges []Edge // sampled edges, deduplicated across FDs, capped
+}
+
+// Count returns the number of sampled edges carrying this difference set.
+func (d DiffSet) Count() int { return len(d.Edges) }
+
+// DiffSets enumerates conflict-graph edges of the base FD set, sampling at
+// most capPerCluster edges per violation cluster (capPerCluster <= 0 means
+// no cap — beware of quadratic blowup), deduplicates pairs that violate
+// several FDs, and groups them by difference set. The result is sorted by
+// descending edge count, then by attribute set, so selection heuristics and
+// reports are deterministic.
+//
+// Sampling keeps every downstream use sound: difference sets and their edge
+// counts feed the A* lower bound gc(S), and an undercounted bound is still
+// a lower bound (Lemma 1's argument applies to any subset of the edges).
+func (a *Analysis) DiffSets(capPerCluster int) []DiffSet {
+	type agg struct {
+		attrs relation.AttrSet
+		edges []Edge
+	}
+	byAttrs := make(map[relation.AttrSet]*agg)
+	seen := make(map[int64]bool)
+	n := int64(a.In.N())
+	for fi, f := range a.Sigma {
+		for _, g := range a.clusters[fi] {
+			a.sampleClusterEdges(g, f.RHS, capPerCluster, func(e Edge) {
+				id := int64(e.T1)*n + int64(e.T2)
+				if seen[id] {
+					return
+				}
+				seen[id] = true
+				d := a.In.Tuples[e.T1].DiffSet(a.In.Tuples[e.T2])
+				ag, ok := byAttrs[d]
+				if !ok {
+					ag = &agg{attrs: d}
+					byAttrs[d] = ag
+				}
+				ag.edges = append(ag.edges, e)
+			})
+		}
+	}
+	out := make([]DiffSet, 0, len(byAttrs))
+	for _, ag := range byAttrs {
+		out = append(out, DiffSet{Attrs: ag.attrs, Edges: ag.edges})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Edges) != len(out[j].Edges) {
+			return len(out[i].Edges) > len(out[j].Edges)
+		}
+		return out[i].Attrs < out[j].Attrs
+	})
+	return out
+}
+
+// sampleClusterEdges emits up to cap cross-subgroup pairs of one cluster.
+// The sample leads with a maximal matching (vertex-disjoint pairs) so that
+// matching-based budget tests over sampled edges are as sharp as the
+// cluster allows — a sample of overlapping pairs would make every excluded
+// difference set look cheap. Remaining combinations follow round-robin
+// until the cap binds.
+func (a *Analysis) sampleClusterEdges(g []int32, rhs int, cap int, emit func(Edge)) {
+	subs := make([][]int32, 0, 4)
+	subIdx := make(map[string]int, 4)
+	for _, t := range g {
+		rkey := a.In.Tuples[t][rhs].Key()
+		si, ok := subIdx[rkey]
+		if !ok {
+			si = len(subs)
+			subIdx[rkey] = si
+			subs = append(subs, nil)
+		}
+		subs[si] = append(subs[si], t)
+	}
+	if len(subs) < 2 {
+		return
+	}
+	emitted := 0
+	send := func(t1, t2 int32) bool {
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		emit(Edge{T1: t1, T2: t2})
+		emitted++
+		return cap > 0 && emitted >= cap
+	}
+	// Phase 1: a maximal matching via the two-pointer sweep over the
+	// subgroup-ordered flattening (same construction as matchCluster).
+	flat := make([]flatEntry, 0, len(g))
+	for si, sub := range subs {
+		for _, t := range sub {
+			flat = append(flat, flatEntry{tuple: t, sub: int32(si)})
+		}
+	}
+	inMatching := make(map[[2]int32]bool)
+	i, j := 0, len(flat)-1
+	for i < j && flat[i].sub != flat[j].sub {
+		t1, t2 := flat[i].tuple, flat[j].tuple
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		inMatching[[2]int32{t1, t2}] = true
+		if send(t1, t2) {
+			return
+		}
+		i++
+		j--
+	}
+	// Phase 2: remaining cross pairs in deterministic round-robin order,
+	// skipping the matched pairs already emitted.
+	for round := 0; ; round++ {
+		any := false
+		for x := 0; x < len(subs); x++ {
+			for y := x + 1; y < len(subs); y++ {
+				ai := round % len(subs[x])
+				bj := round / len(subs[x])
+				if bj >= len(subs[y]) {
+					continue
+				}
+				any = true
+				t1, t2 := subs[x][ai], subs[y][bj]
+				if t1 > t2 {
+					t1, t2 = t2, t1
+				}
+				if inMatching[[2]int32{t1, t2}] {
+					continue
+				}
+				if send(t1, t2) {
+					return
+				}
+			}
+		}
+		if !any {
+			return
+		}
+	}
+}
+
+// EdgeCountExact returns the exact number of conflict-graph edges of the
+// base set (sum over clusters of cross-subgroup pair counts, with pairs
+// violating several FDs counted once per FD, as in the paper's |E|). It is
+// O(|Σ|·n) and never enumerates pairs.
+func (a *Analysis) EdgeCountExact() int64 {
+	var total int64
+	for fi, f := range a.Sigma {
+		for _, g := range a.clusters[fi] {
+			counts := make(map[string]int64, 4)
+			for _, t := range g {
+				counts[a.In.Tuples[t][f.RHS].Key()]++
+			}
+			var sum, sq int64
+			for _, c := range counts {
+				sum += c
+				sq += c * c
+			}
+			total += (sum*sum - sq) / 2
+		}
+	}
+	return total
+}
+
+// DescribeClusters renders a short human-readable summary, used by the CLI.
+func (a *Analysis) DescribeClusters() string {
+	var b strings.Builder
+	for fi := range a.Sigma {
+		total := 0
+		for _, g := range a.clusters[fi] {
+			total += len(g)
+		}
+		b.WriteString(a.Sigma[fi].String())
+		b.WriteString(": ")
+		fmt.Fprintf(&b, "%d violating clusters, %d tuples involved\n", len(a.clusters[fi]), total)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package discovery
+
+import (
+	"sort"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// ApproxOptions bounds the approximate-FD discovery search.
+type ApproxOptions struct {
+	// MaxError is the largest tolerated g3-style error: the fraction of
+	// tuples that must be ignored for X → A to hold (0 = exact FDs).
+	MaxError float64
+	// MaxLHS is the largest LHS size to explore. Default 3.
+	MaxLHS int
+	// Attrs restricts discovery to a subset of attributes (empty = all).
+	Attrs relation.AttrSet
+}
+
+// ApproxFD is a discovered approximate dependency with its error.
+type ApproxFD struct {
+	FD    fd.FD
+	Error float64 // fraction of tuples violating the plurality assignment
+}
+
+// DiscoverApprox returns every minimal approximate FD X → A with
+// |X| ≤ MaxLHS whose g3 error is at most MaxError, in the sense of the
+// approximate-dependency work the paper cites ([9] TANE, [11], [14]):
+// the minimum fraction of tuples to remove so the FD holds exactly.
+// Minimality is with respect to the error threshold: no proper LHS subset
+// already satisfies it. This substrate supports workflows that start from
+// almost-holding FDs rather than exact ones — exactly the "FDs that were
+// automatically discovered from legacy data" scenario of Section 1.
+func DiscoverApprox(in *relation.Instance, opt ApproxOptions) []ApproxFD {
+	if opt.MaxLHS <= 0 {
+		opt.MaxLHS = 3
+	}
+	if opt.Attrs.IsEmpty() {
+		opt.Attrs = relation.FullSet(in.Schema.Width())
+	}
+	if in.N() == 0 {
+		return nil
+	}
+	attrs := opt.Attrs.Attrs()
+	n := float64(in.N())
+
+	var out []ApproxFD
+	found := make(map[int][]relation.AttrSet)
+
+	level := make([]relation.AttrSet, 0, len(attrs))
+	for _, a := range attrs {
+		level = append(level, relation.NewAttrSet(a))
+	}
+	for size := 1; size <= opt.MaxLHS && len(level) > 0; size++ {
+		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+		for _, x := range level {
+			for _, a := range attrs {
+				if x.Contains(a) || hasSubsetLHS(found[a], x) {
+					continue
+				}
+				f := fd.FD{LHS: x, RHS: a}
+				errFrac := float64(Error(in, f)) / n
+				if errFrac <= opt.MaxError {
+					found[a] = append(found[a], x)
+					out = append(out, ApproxFD{FD: f, Error: errFrac})
+				}
+			}
+		}
+		if size < opt.MaxLHS {
+			next := make(map[relation.AttrSet]bool)
+			for _, x := range level {
+				for _, a := range attrs {
+					if !x.Contains(a) {
+						next[x.Add(a)] = true
+					}
+				}
+			}
+			level = level[:0]
+			for x := range next {
+				level = append(level, x)
+			}
+		} else {
+			level = nil
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FD.RHS != out[j].FD.RHS {
+			return out[i].FD.RHS < out[j].FD.RHS
+		}
+		if out[i].FD.LHS.Len() != out[j].FD.LHS.Len() {
+			return out[i].FD.LHS.Len() < out[j].FD.LHS.Len()
+		}
+		return out[i].FD.LHS < out[j].FD.LHS
+	})
+	return out
+}

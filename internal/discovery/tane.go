@@ -1,0 +1,201 @@
+// Package discovery implements level-wise discovery of minimal functional
+// dependencies from data, in the style of TANE (Huhtala et al., [9] in the
+// paper). The paper's experimental setup uses such a discovery pass to
+// obtain the clean FD set Σc before perturbing it; this package is that
+// substrate.
+//
+// The implementation uses stripped partitions: the partition of the tuple
+// set induced by an attribute set X, with singleton equivalence classes
+// removed. X → A holds exactly when the partition of X∪{A} has the same
+// error (number of tuples minus number of classes) as the partition of X.
+package discovery
+
+import (
+	"sort"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// Options bounds the discovery search.
+type Options struct {
+	// MaxLHS is the largest LHS size to explore (the paper uses "fewer
+	// than 6 attributes"). Default 3.
+	MaxLHS int
+	// MaxResults stops early after this many FDs (0 = unlimited).
+	MaxResults int
+	// Attrs restricts discovery to a subset of attributes (empty = all).
+	// Useful on wide schemas where the lattice is otherwise huge.
+	Attrs relation.AttrSet
+}
+
+func (o Options) withDefaults(width int) Options {
+	if o.MaxLHS <= 0 {
+		o.MaxLHS = 3
+	}
+	if o.Attrs.IsEmpty() {
+		o.Attrs = relation.FullSet(width)
+	}
+	return o
+}
+
+// stripped is a stripped partition: equivalence classes of size ≥ 2.
+type stripped struct {
+	classes [][]int32
+	err     int // Σ(|class|−1): tuples that would need to merge targets
+}
+
+// Discover returns every minimal FD X → A with |X| ≤ MaxLHS that holds
+// exactly on the instance, sorted deterministically. Minimality here is
+// the discovery notion: no proper subset of X determines A.
+func Discover(in *relation.Instance, opt Options) fd.Set {
+	opt = opt.withDefaults(in.Schema.Width())
+	attrs := opt.Attrs.Attrs()
+
+	// Level 1 partitions.
+	parts := make(map[relation.AttrSet]stripped, len(attrs)*4)
+	for _, a := range attrs {
+		parts[relation.NewAttrSet(a)] = partitionByAttr(in, a)
+	}
+
+	var out fd.Set
+	// found[A] lists the minimal LHS sets discovered so far per RHS, used
+	// to skip supersets (minimality pruning).
+	found := make(map[int][]relation.AttrSet)
+
+	level := make([]relation.AttrSet, 0, len(attrs))
+	for _, a := range attrs {
+		level = append(level, relation.NewAttrSet(a))
+	}
+
+	for size := 1; size <= opt.MaxLHS && len(level) > 0; size++ {
+		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+		for _, x := range level {
+			px, ok := parts[x]
+			if !ok {
+				px = partitionBySet(in, x)
+				parts[x] = px
+			}
+			for _, a := range attrs {
+				if x.Contains(a) {
+					continue
+				}
+				if hasSubsetLHS(found[a], x) {
+					continue // a smaller LHS already determines a
+				}
+				xa := x.Add(a)
+				pxa, ok := parts[xa]
+				if !ok {
+					pxa = partitionBySet(in, xa)
+					parts[xa] = pxa
+				}
+				if px.err == pxa.err { // X → A holds exactly
+					found[a] = append(found[a], x)
+					out = append(out, fd.MustNew(x, a))
+					if opt.MaxResults > 0 && len(out) >= opt.MaxResults {
+						sortFDs(out)
+						return out
+					}
+				}
+			}
+		}
+		// Next level: all (size+1)-sets from the allowed attributes. A
+		// prefix-join would be faster; candidate counts at the small
+		// MaxLHS values used here keep this simple form adequate.
+		if size < opt.MaxLHS {
+			next := make(map[relation.AttrSet]bool)
+			for _, x := range level {
+				for _, a := range attrs {
+					if !x.Contains(a) {
+						next[x.Add(a)] = true
+					}
+				}
+			}
+			level = level[:0]
+			for x := range next {
+				level = append(level, x)
+			}
+		} else {
+			level = nil
+		}
+	}
+	sortFDs(out)
+	return out
+}
+
+// Holds reports whether X → A holds exactly on the instance, via the
+// partition-error criterion.
+func Holds(in *relation.Instance, f fd.FD) bool {
+	px := partitionBySet(in, f.LHS)
+	pxa := partitionBySet(in, f.LHS.Add(f.RHS))
+	return px.err == pxa.err
+}
+
+// Error returns the number of tuples that must be ignored for X → A to
+// hold (the g3-style count used by approximate-FD work): for each X-class,
+// all tuples not in the class's plurality A-value.
+func Error(in *relation.Instance, f fd.FD) int {
+	groups := make(map[string]map[string]int)
+	for t := 0; t < in.N(); t++ {
+		k := in.Project(t, f.LHS)
+		sub, ok := groups[k]
+		if !ok {
+			sub = make(map[string]int, 2)
+			groups[k] = sub
+		}
+		sub[in.Tuples[t][f.RHS].Key()]++
+	}
+	errs := 0
+	for _, sub := range groups {
+		total, maxc := 0, 0
+		for _, c := range sub {
+			total += c
+			if c > maxc {
+				maxc = c
+			}
+		}
+		errs += total - maxc
+	}
+	return errs
+}
+
+func partitionByAttr(in *relation.Instance, a int) stripped {
+	return partitionBySet(in, relation.NewAttrSet(a))
+}
+
+func partitionBySet(in *relation.Instance, x relation.AttrSet) stripped {
+	groups := make(map[string][]int32, in.N())
+	for t := 0; t < in.N(); t++ {
+		k := in.Project(t, x)
+		groups[k] = append(groups[k], int32(t))
+	}
+	var p stripped
+	for _, g := range groups {
+		if len(g) >= 2 {
+			p.classes = append(p.classes, g)
+			p.err += len(g) - 1
+		}
+	}
+	return p
+}
+
+func hasSubsetLHS(sets []relation.AttrSet, x relation.AttrSet) bool {
+	for _, s := range sets {
+		if s.SubsetOf(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortFDs(set fd.Set) {
+	sort.Slice(set, func(i, j int) bool {
+		if set[i].RHS != set[j].RHS {
+			return set[i].RHS < set[j].RHS
+		}
+		if set[i].LHS.Len() != set[j].LHS.Len() {
+			return set[i].LHS.Len() < set[j].LHS.Len()
+		}
+		return set[i].LHS < set[j].LHS
+	})
+}

@@ -1,0 +1,56 @@
+package fd
+
+import (
+	"testing"
+
+	"relatrust/internal/relation"
+)
+
+// FuzzParse checks the FD parser never panics and that accepted specs
+// round-trip through Format.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"A->B", "A,B->C", "A ,B -> C", "->", "A->", "->B", "A→B",
+		"A->B,C", "Z->A", "A,A->B", "", "A,B,C,D->A", "A-->B", "|||",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := relation.MustSchema("A", "B", "C", "D")
+	f.Fuzz(func(t *testing.T, spec string) {
+		fdep, err := Parse(schema, spec)
+		if err != nil {
+			return
+		}
+		// Accepted FDs are well-formed and re-parseable.
+		if fdep.LHS.Contains(fdep.RHS) {
+			t.Fatalf("parser accepted trivial FD from %q", spec)
+		}
+		back, err := Parse(schema, fdep.Format(schema))
+		if err != nil {
+			t.Fatalf("formatted FD %q does not re-parse: %v", fdep.Format(schema), err)
+		}
+		if !back.Equal(fdep) {
+			t.Fatalf("round trip changed the FD: %v vs %v", fdep, back)
+		}
+	})
+}
+
+// FuzzParseSet checks the set parser never panics and output sets are
+// position-stable under re-parsing.
+func FuzzParseSet(f *testing.F) {
+	for _, s := range []string{"A->B; C->D", "A->B,C\nB->D", "# c\nA->B", ";;;", "A->B;"} {
+		f.Add(s)
+	}
+	schema := relation.MustSchema("A", "B", "C", "D")
+	f.Fuzz(func(t *testing.T, spec string) {
+		set, err := ParseSet(schema, spec)
+		if err != nil {
+			return
+		}
+		back, err := ParseSet(schema, set.Format(schema))
+		if err != nil || !back.Equal(set) {
+			t.Fatalf("set round trip failed for %q: %v", spec, err)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relatrust/internal/relation"
+)
+
+// Set is an ordered list of FDs, Σ. Order is significant: the repair search
+// represents candidate modifications as a vector of LHS extensions indexed
+// by position in Σ (the paper keeps |Σ′| = |Σ| by allowing duplicates).
+type Set []FD
+
+// ParseSet parses a semicolon- or newline-separated list of FD specs.
+// Multi-attribute RHS specs like "A->B,C" are expanded into one FD per RHS
+// attribute.
+func ParseSet(s *relation.Schema, specs string) (Set, error) {
+	var out Set
+	fields := strings.FieldsFunc(specs, func(r rune) bool { return r == ';' || r == '\n' })
+	for _, spec := range fields {
+		spec = strings.TrimSpace(spec)
+		if spec == "" || strings.HasPrefix(spec, "#") {
+			continue
+		}
+		lhsStr, rhsStr, ok := cutArrow(spec)
+		if !ok {
+			return nil, fmt.Errorf("fd: %q is not of the form \"A,B->C\"", spec)
+		}
+		lhs, err := s.ParseAttrs(lhsStr)
+		if err != nil {
+			return nil, err
+		}
+		for _, rhsName := range strings.Split(rhsStr, ",") {
+			rhsName = strings.TrimSpace(rhsName)
+			if rhsName == "" {
+				continue
+			}
+			rhs := s.Index(rhsName)
+			if rhs < 0 {
+				return nil, fmt.Errorf("fd: unknown RHS attribute %q in %q", rhsName, spec)
+			}
+			f, err := New(lhs, rhs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fd: no dependencies found in %q", specs)
+	}
+	return out, nil
+}
+
+// MustParseSet is ParseSet but panics on error.
+func MustParseSet(s *relation.Schema, specs string) Set {
+	set, err := ParseSet(s, specs)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// Clone returns a copy of the set.
+func (set Set) Clone() Set { return append(Set(nil), set...) }
+
+// Equal reports position-wise equality.
+func (set Set) Equal(other Set) bool {
+	if len(set) != len(other) {
+		return false
+	}
+	for i := range set {
+		if !set[i].Equal(other[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set with attribute indices.
+func (set Set) String() string {
+	parts := make([]string, len(set))
+	for i, f := range set {
+		parts[i] = f.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Format renders the set with attribute names, one FD per element, joined
+// by "; ".
+func (set Set) Format(s *relation.Schema) string {
+	parts := make([]string, len(set))
+	for i, f := range set {
+		parts[i] = f.Format(s)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// SatisfiedBy reports whether the instance satisfies every FD in the set.
+// It runs in O(|Σ|·n) expected time by partitioning tuples on their LHS
+// projection instead of testing all pairs. Variable cells are encoded into
+// the projection key by identity, so two tuples land in the same group iff
+// they agree on the LHS under V-instance semantics.
+func (set Set) SatisfiedBy(in *relation.Instance) bool {
+	return set.FirstViolation(in) == nil
+}
+
+// Violation describes one violating tuple pair and the FD (by position) it
+// violates.
+type Violation struct {
+	T1, T2 int // tuple indices, T1 < T2
+	FD     int // index into the Set
+}
+
+// FirstViolation returns one violation, or nil if the instance satisfies
+// the set.
+func (set Set) FirstViolation(in *relation.Instance) *Violation {
+	for fi, f := range set {
+		groups := make(map[string]int, in.N()) // LHS key -> representative tuple
+		for i := 0; i < in.N(); i++ {
+			key := in.Project(i, f.LHS)
+			if j, ok := groups[key]; ok {
+				if !in.Tuples[i][f.RHS].Equal(in.Tuples[j][f.RHS]) {
+					t1, t2 := j, i
+					if t1 > t2 {
+						t1, t2 = t2, t1
+					}
+					return &Violation{T1: t1, T2: t2, FD: fi}
+				}
+				continue
+			}
+			groups[key] = i
+		}
+	}
+	return nil
+}
+
+// Violations enumerates all violating pairs for every FD in the set, up to
+// the given cap (cap <= 0 means unlimited). The result is deterministic for
+// a fixed instance. Beware: badly violated FDs can induce Θ(n²) pairs; use
+// the conflict package for cover computations that avoid enumeration.
+func (set Set) Violations(in *relation.Instance, cap int) []Violation {
+	var out []Violation
+	for fi, f := range set {
+		groups := make(map[string][]int, in.N())
+		for i := 0; i < in.N(); i++ {
+			key := in.Project(i, f.LHS)
+			groups[key] = append(groups[key], i)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g := groups[k]
+			for a := 0; a < len(g); a++ {
+				for b := a + 1; b < len(g); b++ {
+					if !in.Tuples[g[a]][f.RHS].Equal(in.Tuples[g[b]][f.RHS]) {
+						out = append(out, Violation{T1: g[a], T2: g[b], FD: fi})
+						if cap > 0 && len(out) >= cap {
+							return out
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AttrsUsed returns the union of attributes mentioned by any FD.
+func (set Set) AttrsUsed() relation.AttrSet {
+	var s relation.AttrSet
+	for _, f := range set {
+		s = s.Union(f.Attrs())
+	}
+	return s
+}

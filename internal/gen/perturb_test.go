@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"testing"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+func cleanWorkload(t *testing.T, n int) (*relation.Instance, fd.Set) {
+	t.Helper()
+	spec := SubSpec(CensusSpec(), 10)
+	sigma := fd.Set{fd.MustNew(relation.NewAttrSet(0, 1, 2), 6)}
+	in, err := Generate(spec, sigma, n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, sigma
+}
+
+func TestPerturbDataInjectsViolations(t *testing.T) {
+	in, sigma := cleanWorkload(t, 1500)
+	p, err := PerturbData(in, sigma, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 75 // 5% of 1500 tuples
+	if len(p.Cells) != want {
+		t.Fatalf("injected %d errors, want %d", len(p.Cells), want)
+	}
+	if sigma.SatisfiedBy(p.Instance) {
+		t.Fatal("perturbed instance still satisfies Σ")
+	}
+	if !sigma.SatisfiedBy(in) {
+		t.Fatal("PerturbData mutated its input")
+	}
+	// Every reported cell actually differs from the clean instance.
+	for _, c := range p.Cells {
+		if in.Tuples[c.Tuple][c.Attr].Equal(p.Instance.Tuples[c.Tuple][c.Attr]) {
+			t.Errorf("cell %v reported changed but is identical", c)
+		}
+	}
+	// The number of modified cells matches the report (no hidden changes).
+	diff, err := in.DiffCells(p.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != len(p.Cells) {
+		t.Errorf("DiffCells = %d, reported = %d", len(diff), len(p.Cells))
+	}
+}
+
+func TestPerturbDataZeroRate(t *testing.T) {
+	in, sigma := cleanWorkload(t, 200)
+	p, err := PerturbData(in, sigma, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cells) != 0 {
+		t.Error("zero rate must inject nothing")
+	}
+	if !sigma.SatisfiedBy(p.Instance) {
+		t.Error("zero-rate output must stay clean")
+	}
+}
+
+func TestPerturbDataRejectsBadRate(t *testing.T) {
+	in, sigma := cleanWorkload(t, 50)
+	if _, err := PerturbData(in, sigma, -0.1, 0); err == nil {
+		t.Error("negative rate must fail")
+	}
+	if _, err := PerturbData(in, sigma, 1.5, 0); err == nil {
+		t.Error("rate > 1 must fail")
+	}
+}
+
+func TestPerturbFDsRemovesRequestedFraction(t *testing.T) {
+	schema := relation.MustSchema("A", "B", "C", "D", "E", "F", "G")
+	sigma := fd.Set{fd.MustNew(relation.NewAttrSet(0, 1, 2, 3, 4, 5), 6)}
+	for _, tc := range []struct {
+		rate float64
+		want int
+	}{
+		{0, 0}, {0.3, 2}, {0.5, 3}, {0.8, 5}, {1.0, 5 /* keeps one attr */},
+	} {
+		p, err := PerturbFDs(sigma, tc.rate, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.TotalRemoved(); got != tc.want {
+			t.Errorf("rate %v: removed %d, want %d", tc.rate, got, tc.want)
+		}
+		if p.Sigma[0].LHS.Len() != 6-p.TotalRemoved() {
+			t.Errorf("rate %v: LHS size inconsistent", tc.rate)
+		}
+		if p.Sigma[0].LHS.Intersects(p.Removed[0]) {
+			t.Errorf("rate %v: removed attrs still present", tc.rate)
+		}
+		if p.Sigma[0].LHS.Union(p.Removed[0]) != sigma[0].LHS {
+			t.Errorf("rate %v: LHS ∪ removed ≠ original", tc.rate)
+		}
+	}
+	_ = schema
+}
+
+func TestPerturbFDsWeakenedSetOverFires(t *testing.T) {
+	in, sigma := cleanWorkload(t, 1200)
+	p, err := PerturbFDs(sigma, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sigma.SatisfiedBy(in) {
+		t.Fatal("weakened FD still holds on clean data; perturbation is vacuous")
+	}
+	if !sigma.SatisfiedBy(in) {
+		t.Fatal("clean data must satisfy the clean FDs")
+	}
+}

@@ -1,0 +1,173 @@
+// Package incremental maintains the violation state of an instance under
+// single-cell updates, without rescanning. It is the substrate an
+// interactive cleaning session needs: after each candidate edit (or each
+// accepted suggestion from the repair spectrum) the violation count, the
+// dirty-tuple set, and the satisfied/violated verdict refresh in time
+// proportional to the touched groups rather than to the instance.
+//
+// Per FD X → A the tracker keeps the partition of tuples by X-projection
+// and, within each group, the histogram of A-values. A group contributes
+// violations iff it holds ≥ 2 distinct A-values; the number of violating
+// pairs of a group with value counts c1…ck (Σci = s) is (s² − Σci²)/2.
+// A cell update moves its tuple between at most two groups per FD whose
+// LHS contains the attribute, and shifts one histogram entry per FD whose
+// RHS is the attribute.
+package incremental
+
+import (
+	"fmt"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// Tracker maintains per-FD violation statistics for one instance. The
+// tracker owns the instance: all mutations must go through Set.
+type Tracker struct {
+	in    *relation.Instance
+	sigma fd.Set
+	fds   []*fdState
+	pairs int64 // total violating pairs across FDs (per-FD convention)
+}
+
+type fdState struct {
+	f      fd.FD
+	groups map[string]*group // LHS key -> group
+	pairs  int64
+}
+
+type group struct {
+	size   int
+	counts map[string]int // RHS value key -> multiplicity
+}
+
+// New builds the tracker in O(|Σ|·n).
+func New(in *relation.Instance, sigma fd.Set) *Tracker {
+	t := &Tracker{in: in, sigma: sigma}
+	for _, f := range sigma {
+		st := &fdState{f: f, groups: make(map[string]*group, in.N())}
+		for ti := 0; ti < in.N(); ti++ {
+			st.addTuple(in, ti)
+		}
+		t.fds = append(t.fds, st)
+		t.pairs += st.pairs
+	}
+	return t
+}
+
+// Instance returns the tracked instance (read-only view; mutate via Set).
+func (t *Tracker) Instance() *relation.Instance { return t.in }
+
+// ViolatingPairs returns the current total number of violating pairs,
+// counting a pair once per FD it violates (the paper's |E| convention).
+func (t *Tracker) ViolatingPairs() int64 { return t.pairs }
+
+// Satisfied reports whether the instance currently satisfies every FD.
+func (t *Tracker) Satisfied() bool { return t.pairs == 0 }
+
+// PairsPerFD returns the violating-pair count of each FD.
+func (t *Tracker) PairsPerFD() []int64 {
+	out := make([]int64, len(t.fds))
+	for i, st := range t.fds {
+		out[i] = st.pairs
+	}
+	return out
+}
+
+// Set updates one cell and refreshes the statistics. It returns the
+// change in total violating pairs (negative = repair progress).
+func (t *Tracker) Set(tuple, attr int, v relation.Value) (delta int64, err error) {
+	if tuple < 0 || tuple >= t.in.N() {
+		return 0, fmt.Errorf("incremental: tuple %d out of range", tuple)
+	}
+	if attr < 0 || attr >= t.in.Schema.Width() {
+		return 0, fmt.Errorf("incremental: attribute %d out of range", attr)
+	}
+	old := t.in.Tuples[tuple][attr]
+	if old.Equal(v) {
+		return 0, nil
+	}
+	before := t.pairs
+	// Remove the tuple from every FD whose stats the cell touches, apply
+	// the write, then re-add. Removing and re-adding only the affected
+	// FDs keeps the cost proportional to the FDs mentioning the
+	// attribute.
+	for i, st := range t.fds {
+		if st.f.LHS.Contains(attr) || st.f.RHS == attr {
+			t.pairs -= st.pairs
+			st.removeTuple(t.in, tuple)
+			t.fds[i] = st
+		}
+	}
+	t.in.Tuples[tuple][attr] = v
+	for _, st := range t.fds {
+		if st.f.LHS.Contains(attr) || st.f.RHS == attr {
+			st.addTuple(t.in, tuple)
+			t.pairs += st.pairs
+		}
+	}
+	return t.pairs - before, nil
+}
+
+// addTuple registers tuple ti with the FD's partition.
+func (st *fdState) addTuple(in *relation.Instance, ti int) {
+	key := in.Project(ti, st.f.LHS)
+	g, ok := st.groups[key]
+	if !ok {
+		g = &group{counts: make(map[string]int, 2)}
+		st.groups[key] = g
+	}
+	st.pairs -= g.pairs()
+	g.size++
+	g.counts[in.Tuples[ti][st.f.RHS].Key()]++
+	st.pairs += g.pairs()
+}
+
+// removeTuple unregisters tuple ti (whose cells must still hold the values
+// it was registered with).
+func (st *fdState) removeTuple(in *relation.Instance, ti int) {
+	key := in.Project(ti, st.f.LHS)
+	g := st.groups[key]
+	if g == nil {
+		return
+	}
+	st.pairs -= g.pairs()
+	g.size--
+	rk := in.Tuples[ti][st.f.RHS].Key()
+	if g.counts[rk]--; g.counts[rk] == 0 {
+		delete(g.counts, rk)
+	}
+	if g.size == 0 {
+		delete(st.groups, key)
+		return
+	}
+	st.pairs += g.pairs()
+}
+
+// pairs returns the violating-pair count of the group: (s² − Σci²)/2.
+func (g *group) pairs() int64 {
+	if len(g.counts) < 2 {
+		return 0
+	}
+	s := int64(g.size)
+	var sq int64
+	for _, c := range g.counts {
+		sq += int64(c) * int64(c)
+	}
+	return (s*s - sq) / 2
+}
+
+// ApplyRepair plays a repaired instance's changes through the tracker,
+// returning the per-step deltas; the final state satisfies the repair's
+// FD set iff the tracker's Σ is (a relaxation-compatible view of) it.
+func (t *Tracker) ApplyRepair(changed []relation.CellRef, repaired *relation.Instance) ([]int64, error) {
+	deltas := make([]int64, 0, len(changed))
+	for _, c := range changed {
+		d, err := t.Set(c.Tuple, c.Attr, repaired.Tuples[c.Tuple][c.Attr])
+		if err != nil {
+			return deltas, err
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, nil
+}

@@ -1,0 +1,120 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+	"relatrust/internal/repair"
+	"relatrust/internal/testkit"
+)
+
+// pairsByRescan recomputes the per-FD violating-pair total from scratch.
+func pairsByRescan(in *relation.Instance, sigma fd.Set) int64 {
+	return int64(len(sigma.Violations(in, 0)))
+}
+
+func TestTrackerInitialCount(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	tr := New(in.Clone(), sigma)
+	if got, want := tr.ViolatingPairs(), pairsByRescan(in, sigma); got != want {
+		t.Fatalf("initial pairs = %d, rescan = %d", got, want)
+	}
+	if tr.Satisfied() {
+		t.Error("paper example is not satisfied")
+	}
+	per := tr.PairsPerFD()
+	if len(per) != 2 || per[0]+per[1] != tr.ViolatingPairs() {
+		t.Errorf("per-FD split inconsistent: %v", per)
+	}
+}
+
+func TestTrackerSetRepairsViolation(t *testing.T) {
+	in := testkit.Build([]string{"A", "B"}, [][]string{
+		{"1", "x"}, {"1", "y"},
+	})
+	sigma := fd.MustParseSet(in.Schema, "A->B")
+	tr := New(in.Clone(), sigma)
+	if tr.ViolatingPairs() != 1 {
+		t.Fatalf("pairs = %d", tr.ViolatingPairs())
+	}
+	delta, err := tr.Set(1, 1, relation.Const("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != -1 || !tr.Satisfied() {
+		t.Fatalf("delta = %d, satisfied = %v", delta, tr.Satisfied())
+	}
+	// Breaking it again.
+	delta, _ = tr.Set(0, 1, relation.Const("z"))
+	if delta != 1 || tr.Satisfied() {
+		t.Fatalf("delta = %d after corruption", delta)
+	}
+}
+
+func TestTrackerNoOpAndErrors(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	tr := New(in.Clone(), sigma)
+	if d, err := tr.Set(0, 0, relation.Const("1")); err != nil || d != 0 {
+		t.Errorf("no-op write: d=%d err=%v", d, err)
+	}
+	if _, err := tr.Set(99, 0, relation.Const("x")); err == nil {
+		t.Error("tuple out of range must fail")
+	}
+	if _, err := tr.Set(0, 99, relation.Const("x")); err == nil {
+		t.Error("attr out of range must fail")
+	}
+}
+
+// TestTrackerMatchesRescanUnderRandomEdits is the load-bearing property:
+// after every random single-cell edit, the incremental count equals a
+// from-scratch rescan.
+func TestTrackerMatchesRescanUnderRandomEdits(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		in := testkit.RandomInstance(rng, 12, 4, 2)
+		sigma := testkit.RandomFDs(rng, 4, 2, 2)
+		tr := New(in.Clone(), sigma)
+		var vg relation.VarGen
+		for step := 0; step < 60; step++ {
+			ti := rng.Intn(tr.Instance().N())
+			a := rng.Intn(4)
+			var v relation.Value
+			if rng.Intn(4) == 0 {
+				v = vg.Fresh()
+			} else {
+				v = relation.Const(string(rune('a' + rng.Intn(3))))
+			}
+			if _, err := tr.Set(ti, a, v); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := tr.ViolatingPairs(), pairsByRescan(tr.Instance(), sigma); got != want {
+				t.Fatalf("trial %d step %d: incremental %d ≠ rescan %d", trial, step, got, want)
+			}
+		}
+	}
+}
+
+// TestTrackerApplyRepair: replaying a produced repair drives the tracker
+// to zero violations.
+func TestTrackerApplyRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	in := testkit.RandomInstance(rng, 15, 4, 2)
+	sigma := testkit.RandomFDs(rng, 4, 2, 2)
+	rep, err := repair.RepairData(in, sigma, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(in.Clone(), sigma)
+	deltas, err := tr.ApplyRepair(rep.Changed, rep.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != rep.NumChanges() {
+		t.Errorf("deltas = %d, changes = %d", len(deltas), rep.NumChanges())
+	}
+	if !tr.Satisfied() {
+		t.Fatalf("tracker still sees %d violating pairs after replaying the repair", tr.ViolatingPairs())
+	}
+}

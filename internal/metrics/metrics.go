@@ -1,0 +1,140 @@
+// Package metrics scores a generated repair against the ground truth of a
+// perturbation experiment, using the paper's four measures (Section 8.1):
+// data precision/recall over modified cells and FD precision/recall over
+// appended LHS attributes, combined through F-scores.
+package metrics
+
+import (
+	"fmt"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// Quality carries the paper's quality measures for one repair.
+type Quality struct {
+	DataPrecision float64
+	DataRecall    float64
+	FDPrecision   float64
+	FDRecall      float64
+}
+
+// DataF returns the harmonic mean of data precision and recall.
+func (q Quality) DataF() float64 { return fscore(q.DataPrecision, q.DataRecall) }
+
+// FDF returns the harmonic mean of FD precision and recall.
+func (q Quality) FDF() float64 { return fscore(q.FDPrecision, q.FDRecall) }
+
+// CombinedF is the paper's headline number: the average of the data and FD
+// F-scores.
+func (q Quality) CombinedF() float64 { return (q.DataF() + q.FDF()) / 2 }
+
+// String renders the five numbers in report order.
+func (q Quality) String() string {
+	return fmt.Sprintf("FD P=%.2f R=%.2f, Data P=%.2f R=%.2f, combined F=%.2f",
+		q.FDPrecision, q.FDRecall, q.DataPrecision, q.DataRecall, q.CombinedF())
+}
+
+func fscore(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// EvalData scores the repaired instance Ir against the clean instance Ic
+// and the perturbed instance Id.
+//
+//   - precision: of the cells the repair modified (Id→Ir), the fraction
+//     that were genuinely erroneous (Ic≠Id) and were restored — set back to
+//     the clean value, or to a variable (which stands for an unknown
+//     correct value; the paper counts it).
+//   - recall: the fraction of erroneous cells so restored.
+func EvalData(ic, id, ir *relation.Instance) (precision, recall float64, err error) {
+	modified, errCells := 0, 0
+	correct := 0
+	if ic.N() != id.N() || id.N() != ir.N() {
+		return 0, 0, fmt.Errorf("metrics: instance sizes differ: %d/%d/%d", ic.N(), id.N(), ir.N())
+	}
+	for t := 0; t < ic.N(); t++ {
+		for a := 0; a < ic.Schema.Width(); a++ {
+			cWasErr := !ic.Tuples[t][a].Equal(id.Tuples[t][a])
+			cModified := !id.Tuples[t][a].Equal(ir.Tuples[t][a])
+			if cWasErr {
+				errCells++
+			}
+			if cModified {
+				modified++
+			}
+			if cWasErr && cModified &&
+				(ir.Tuples[t][a].IsVar() || ir.Tuples[t][a].Equal(ic.Tuples[t][a])) {
+				correct++
+			}
+		}
+	}
+	precision = ratioOrOne(correct, modified)
+	recall = ratioOrOne(correct, errCells)
+	return precision, recall, nil
+}
+
+// EvalFDs scores the repaired FD set against the perturbation ground
+// truth: appended[i] are the LHS attributes the repair added to FD i of
+// Σd, removed[i] the attributes the perturbation removed from FD i of Σc.
+// An appended attribute is correct iff it was removed from that same FD.
+func EvalFDs(appended, removed []relation.AttrSet) (precision, recall float64, err error) {
+	if len(appended) != len(removed) {
+		return 0, 0, fmt.Errorf("metrics: %d appended vectors vs %d removed", len(appended), len(removed))
+	}
+	totalAppended, totalRemoved, correct := 0, 0, 0
+	for i := range appended {
+		totalAppended += appended[i].Len()
+		totalRemoved += removed[i].Len()
+		correct += appended[i].Intersect(removed[i]).Len()
+	}
+	precision = ratioOrOne(correct, totalAppended)
+	recall = ratioOrOne(correct, totalRemoved)
+	return precision, recall, nil
+}
+
+// ratioOrOne returns num/den, treating an empty denominator as a perfect
+// score: a repair that appended nothing has perfect precision, and a
+// perturbation that removed nothing is perfectly recalled. This matches
+// the paper's Figure 8 conventions (e.g. FD precision 1 with recall 0 for
+// a baseline that never modifies FDs).
+func ratioOrOne(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// Eval combines both scores for a repair produced on a perturbed workload.
+func Eval(ic, id, ir *relation.Instance, appended, removed []relation.AttrSet) (Quality, error) {
+	var q Quality
+	var err error
+	q.DataPrecision, q.DataRecall, err = EvalData(ic, id, ir)
+	if err != nil {
+		return q, err
+	}
+	q.FDPrecision, q.FDRecall, err = EvalFDs(appended, removed)
+	return q, err
+}
+
+// Appended extracts the per-FD appended attributes Δc(Σd, Σr) from the two
+// FD sets, which must be position-aligned.
+func Appended(sigmaD, sigmaR fd.Set) ([]relation.AttrSet, error) {
+	if len(sigmaD) != len(sigmaR) {
+		return nil, fmt.Errorf("metrics: FD sets have different sizes: %d vs %d", len(sigmaD), len(sigmaR))
+	}
+	out := make([]relation.AttrSet, len(sigmaD))
+	for i := range sigmaD {
+		if sigmaD[i].RHS != sigmaR[i].RHS {
+			return nil, fmt.Errorf("metrics: FD %d changed RHS (%d → %d)", i, sigmaD[i].RHS, sigmaR[i].RHS)
+		}
+		if !sigmaD[i].LHS.SubsetOf(sigmaR[i].LHS) {
+			return nil, fmt.Errorf("metrics: FD %d lost LHS attributes; repairs only append", i)
+		}
+		out[i] = sigmaR[i].LHS.Diff(sigmaD[i].LHS)
+	}
+	return out, nil
+}

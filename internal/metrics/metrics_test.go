@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+	"relatrust/internal/testkit"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEvalDataBasic(t *testing.T) {
+	ic := testkit.Build([]string{"A", "B"}, [][]string{{"1", "x"}, {"2", "y"}})
+	id := ic.Clone()
+	id.Tuples[0][1] = relation.Const("BAD") // one erroneous cell
+	ir := id.Clone()
+	ir.Tuples[0][1] = relation.Const("x")   // restored correctly
+	ir.Tuples[1][0] = relation.Const("bad") // spurious change
+
+	p, r, err := EvalData(ic, id, ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p, 0.5) {
+		t.Errorf("precision = %v, want 0.5 (1 correct of 2 modified)", p)
+	}
+	if !approx(r, 1) {
+		t.Errorf("recall = %v, want 1 (1 of 1 erroneous restored)", r)
+	}
+}
+
+func TestEvalDataVariableCountsAsCorrect(t *testing.T) {
+	var g relation.VarGen
+	ic := testkit.Build([]string{"A"}, [][]string{{"v"}})
+	id := ic.Clone()
+	id.Tuples[0][0] = relation.Const("ERR")
+	ir := id.Clone()
+	ir.Tuples[0][0] = g.Fresh()
+	p, r, err := EvalData(ic, id, ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p, 1) || !approx(r, 1) {
+		t.Errorf("variable repair should count as correct: P=%v R=%v", p, r)
+	}
+}
+
+func TestEvalDataNoErrorsNoChanges(t *testing.T) {
+	ic := testkit.Build([]string{"A"}, [][]string{{"1"}})
+	p, r, err := EvalData(ic, ic.Clone(), ic.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing modified, nothing erroneous: both scores are perfect.
+	if !approx(p, 1) || !approx(r, 1) {
+		t.Errorf("P=%v R=%v, want 1/1", p, r)
+	}
+}
+
+func TestEvalDataWrongRestoration(t *testing.T) {
+	ic := testkit.Build([]string{"A"}, [][]string{{"good"}})
+	id := ic.Clone()
+	id.Tuples[0][0] = relation.Const("err")
+	ir := id.Clone()
+	ir.Tuples[0][0] = relation.Const("still-wrong")
+	p, r, _ := EvalData(ic, id, ir)
+	if p != 0 || r != 0 {
+		t.Errorf("wrong constant restoration must score 0: P=%v R=%v", p, r)
+	}
+}
+
+func TestEvalDataSizeMismatch(t *testing.T) {
+	a := testkit.Build([]string{"A"}, [][]string{{"1"}})
+	b := testkit.Build([]string{"A"}, [][]string{{"1"}, {"2"}})
+	if _, _, err := EvalData(a, b, b); err == nil {
+		t.Error("size mismatch must error")
+	}
+}
+
+func TestEvalFDs(t *testing.T) {
+	appended := []relation.AttrSet{relation.NewAttrSet(1, 2)}
+	removed := []relation.AttrSet{relation.NewAttrSet(2, 3, 4)}
+	p, r, err := EvalFDs(appended, removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p, 0.5) {
+		t.Errorf("precision = %v, want 0.5", p)
+	}
+	if !approx(r, 1.0/3) {
+		t.Errorf("recall = %v, want 1/3", r)
+	}
+}
+
+func TestEvalFDsPaperConventions(t *testing.T) {
+	// Uniform-cost on (80% FD err, 0% data err): appended nothing, removed
+	// plenty → precision 1, recall 0 (Figure 8, first row).
+	p, r, _ := EvalFDs([]relation.AttrSet{0}, []relation.AttrSet{relation.NewAttrSet(1, 2)})
+	if !approx(p, 1) || !approx(r, 0) {
+		t.Errorf("P=%v R=%v, want 1/0", p, r)
+	}
+	// Nothing removed: recall 1 by convention (Figure 8, fourth row).
+	p, r, _ = EvalFDs([]relation.AttrSet{0}, []relation.AttrSet{0})
+	if !approx(p, 1) || !approx(r, 1) {
+		t.Errorf("P=%v R=%v, want 1/1", p, r)
+	}
+	if _, _, err := EvalFDs([]relation.AttrSet{0, 0}, []relation.AttrSet{0}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestFScores(t *testing.T) {
+	q := Quality{DataPrecision: 1, DataRecall: 1, FDPrecision: 0, FDRecall: 0}
+	if !approx(q.DataF(), 1) {
+		t.Errorf("DataF = %v", q.DataF())
+	}
+	if !approx(q.FDF(), 0) {
+		t.Errorf("FDF = %v", q.FDF())
+	}
+	if !approx(q.CombinedF(), 0.5) {
+		t.Errorf("CombinedF = %v", q.CombinedF())
+	}
+	if len(q.String()) == 0 {
+		t.Error("String empty")
+	}
+}
+
+func TestAppended(t *testing.T) {
+	s := relation.MustSchema("A", "B", "C", "D")
+	sigmaD := fd.MustParseSet(s, "A->B; C->D")
+	sigmaR := fd.MustParseSet(s, "A,C->B; C->D")
+	got, err := Appended(sigmaD, sigmaR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != relation.NewAttrSet(2) || got[1] != 0 {
+		t.Errorf("Appended = %v", got)
+	}
+	if _, err := Appended(sigmaD, sigmaD[:1]); err == nil {
+		t.Error("size mismatch must error")
+	}
+	bad := fd.MustParseSet(s, "B->A; C->D")
+	if _, err := Appended(sigmaD, bad); err == nil {
+		t.Error("RHS change must error")
+	}
+	shrunk := fd.MustParseSet(s, "B->C; C->D")
+	if _, err := Appended(fd.MustParseSet(s, "A,B->C; C->D"), shrunk); err == nil {
+		t.Error("shrunken LHS must error")
+	}
+}
+
+func TestEvalCombined(t *testing.T) {
+	ic := testkit.Build([]string{"A"}, [][]string{{"1"}})
+	q, err := Eval(ic, ic.Clone(), ic.Clone(),
+		[]relation.AttrSet{0}, []relation.AttrSet{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(q.CombinedF(), 1) {
+		t.Errorf("perfect repair should score 1, got %v", q.CombinedF())
+	}
+}

@@ -1,0 +1,84 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses a header-first CSV stream into an instance of constants.
+// The header row defines the schema. Variable cells cannot be expressed in
+// CSV input; every cell is read as a constant.
+func ReadCSV(r io.Reader) (*Instance, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	schema, err := NewSchema(header...)
+	if err != nil {
+		return nil, err
+	}
+	in := NewInstance(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != schema.Width() {
+			return nil, fmt.Errorf("relation: CSV line %d has %d fields, want %d", line, len(rec), schema.Width())
+		}
+		if err := in.AppendConsts(rec...); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSV writes the instance with a header row. Variable cells are
+// rendered as "?vN"; call Ground first to emit a purely-constant instance.
+func WriteCSV(w io.Writer, in *Instance) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(in.Schema.Names()); err != nil {
+		return err
+	}
+	row := make([]string, in.Schema.Width())
+	for _, t := range in.Tuples {
+		for a, v := range t {
+			row[a] = v.String()
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV to a file path.
+func WriteCSVFile(path string, in *Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, in); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,100 @@
+package relation
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := NewInstance(MustSchema("Name", "City"))
+	_ = in.AppendConsts("Ann", "Oslo")
+	_ = in.AppendConsts("Bob", "Rome, Italy") // embedded comma exercises quoting
+
+	var buf strings.Builder
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 2 || back.Schema.Width() != 2 {
+		t.Fatalf("round trip shape: %d tuples × %d attrs", back.N(), back.Schema.Width())
+	}
+	if got := back.Tuples[1][1].Str(); got != "Rome, Italy" {
+		t.Errorf("quoted field = %q", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty stream must fail on header")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\n1\n")); err == nil {
+		t.Error("ragged row must fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,A\n1,2\n")); err == nil {
+		t.Error("duplicate header names must fail")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	in := NewInstance(MustSchema("X"))
+	_ = in.AppendConsts("1")
+	if err := WriteCSVFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 1 || back.Tuples[0][0].Str() != "1" {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema must fail")
+	}
+	if _, err := NewSchema(""); err == nil {
+		t.Error("blank attribute name must fail")
+	}
+	names := make([]string, MaxAttrs+1)
+	for i := range names {
+		names[i] = string(rune('A')) + itoa(i)
+	}
+	if _, err := NewSchema(names...); err == nil {
+		t.Error("over-wide schema must fail")
+	}
+	s := MustSchema("A", "B")
+	if s.Index("A") != 0 || s.Index("missing") != -1 {
+		t.Error("Index lookup broken")
+	}
+	if s.String() != "R(A, B)" {
+		t.Errorf("String = %q", s.String())
+	}
+	set, err := s.ParseAttrs(" A , B ")
+	if err != nil || set != NewAttrSet(0, 1) {
+		t.Errorf("ParseAttrs = %v, %v", set, err)
+	}
+	if _, err := s.ParseAttrs("A,Z"); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; i > 0; i /= 10 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+	}
+	return string(b)
+}

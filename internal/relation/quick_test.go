@@ -1,0 +1,135 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDiffSetProperties: the difference set is symmetric, empty iff
+// the tuples are equal, and consistent with AgreeOn on its complement.
+func TestQuickDiffSetProperties(t *testing.T) {
+	mk := func(raw [5]uint8) Tuple {
+		tp := make(Tuple, 5)
+		for i, v := range raw {
+			tp[i] = Const(string(rune('a' + v%4)))
+		}
+		return tp
+	}
+	f := func(aRaw, bRaw [5]uint8) bool {
+		a, b := mk(aRaw), mk(bRaw)
+		d := a.DiffSet(b)
+		if d != b.DiffSet(a) {
+			return false
+		}
+		if d.IsEmpty() != a.Equal(b) {
+			return false
+		}
+		// They agree exactly on the complement of d.
+		comp := FullSet(5).Diff(d)
+		if !a.AgreeOn(b, comp) {
+			return false
+		}
+		if !d.IsEmpty() && a.AgreeOn(b, d) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProjectKeyEquality: projection keys are equal exactly when the
+// tuples agree on the projected attributes — the invariant every partition
+// map in the system relies on.
+func TestQuickProjectKeyEquality(t *testing.T) {
+	f := func(aRaw, bRaw [4]uint8, setRaw uint8) bool {
+		in := NewInstance(MustSchema("A", "B", "C", "D"))
+		row := func(raw [4]uint8) []string {
+			out := make([]string, 4)
+			for i, v := range raw {
+				out[i] = string(rune('a' + v%3))
+			}
+			return out
+		}
+		_ = in.AppendConsts(row(aRaw)...)
+		_ = in.AppendConsts(row(bRaw)...)
+		x := AttrSet(setRaw) & FullSet(4)
+		agree := in.Tuples[0].AgreeOn(in.Tuples[1], x)
+		return (in.Project(0, x) == in.Project(1, x)) == agree
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGroundIdempotent: grounding is stable — a grounded instance has
+// no variables and grounds to itself.
+func TestQuickGroundIdempotent(t *testing.T) {
+	f := func(raw [6]uint8, varMask uint8) bool {
+		var g VarGen
+		in := NewInstance(MustSchema("A", "B"))
+		for i := 0; i < 3; i++ {
+			tp := make(Tuple, 2)
+			for j := 0; j < 2; j++ {
+				if varMask&(1<<(uint(i*2+j))) != 0 {
+					tp[j] = g.Fresh()
+				} else {
+					tp[j] = Const(string(rune('a' + raw[i*2+j]%3)))
+				}
+			}
+			_ = in.Append(tp)
+		}
+		ground := in.Ground("g_")
+		if ground.CountVars() != 0 {
+			return false
+		}
+		again := ground.Ground("g_")
+		for i := range ground.Tuples {
+			if !ground.Tuples[i].Equal(again.Tuples[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGroundPreservesEquality: grounding preserves cell equality and
+// inequality (Definition 1: distinct variables map to distinct fresh
+// values, never colliding with constants).
+func TestQuickGroundPreservesEquality(t *testing.T) {
+	f := func(varPattern [4]uint8) bool {
+		var g VarGen
+		vars := []Value{g.Fresh(), g.Fresh()}
+		in := NewInstance(MustSchema("A"))
+		var cells []Value
+		for _, p := range varPattern {
+			switch p % 3 {
+			case 0:
+				cells = append(cells, Const("c"))
+			default:
+				cells = append(cells, vars[p%2])
+			}
+		}
+		for _, c := range cells {
+			_ = in.Append(Tuple{c})
+		}
+		ground := in.Ground("g_")
+		for i := range cells {
+			for j := range cells {
+				want := cells[i].Equal(cells[j])
+				got := ground.Tuples[i][0].Equal(ground.Tuples[j][0])
+				if want != got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package relation
+
+import "testing"
+
+func TestValueConstEquality(t *testing.T) {
+	if !Const("x").Equal(Const("x")) {
+		t.Error("equal constants must compare equal")
+	}
+	if Const("x").Equal(Const("y")) {
+		t.Error("distinct constants must not compare equal")
+	}
+	var zero Value
+	if !zero.Equal(Const("")) {
+		t.Error("zero Value is the empty-string constant")
+	}
+}
+
+func TestValueVariableSemantics(t *testing.T) {
+	var g VarGen
+	v1, v2 := g.Fresh(), g.Fresh()
+	if v1.Equal(v2) {
+		t.Error("distinct variables must not compare equal (Definition 1)")
+	}
+	if !v1.Equal(v1) {
+		t.Error("a variable equals itself")
+	}
+	if v1.Equal(Const("anything")) || Const("?v1").Equal(v1) {
+		t.Error("variables never equal constants, even ones that render alike")
+	}
+	if g.Count() != 2 {
+		t.Errorf("Count = %d, want 2", g.Count())
+	}
+}
+
+func TestValueKeyMirrorsEqual(t *testing.T) {
+	var g VarGen
+	vals := []Value{Const(""), Const("a"), Const("b"), g.Fresh(), g.Fresh()}
+	for i, v := range vals {
+		for j, u := range vals {
+			if (v.Key() == u.Key()) != v.Equal(u) {
+				t.Errorf("Key consistency broken for vals[%d], vals[%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestValueAccessorsPanic(t *testing.T) {
+	var g VarGen
+	v := g.Fresh()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Str on variable should panic")
+			}
+		}()
+		_ = v.Str()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("VarID on constant should panic")
+			}
+		}()
+		_ = Const("x").VarID()
+	}()
+}
+
+func TestValueString(t *testing.T) {
+	if Const("abc").String() != "abc" {
+		t.Error("constant String")
+	}
+	var g VarGen
+	if got := g.Fresh().String(); got != "?v1" {
+		t.Errorf("variable String = %q, want ?v1", got)
+	}
+}

@@ -1,0 +1,212 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/fd"
+	"relatrust/internal/testkit"
+)
+
+func TestRepairDataPaperExample(t *testing.T) {
+	// Figure 6: Σ' = {CA→B, C→D} on the 4×4 instance; C2opt = {t2};
+	// the repair changes at most α·|C2opt| = 2 cells, all in t2.
+	in, _ := testkit.Paper4x4()
+	sigma := fd.MustParseSet(in.Schema, "C,A->B; C->D")
+	rep, err := RepairData(in, sigma, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sigma.SatisfiedBy(rep.Instance) {
+		t.Fatal("repaired instance violates Σ'")
+	}
+	alpha := 2 // min{|R|-1, |Σ|} = min{3, 2}
+	if rep.NumChanges() > alpha*len(rep.Cover) {
+		t.Errorf("changes %d exceed α·|C2opt| = %d", rep.NumChanges(), alpha*len(rep.Cover))
+	}
+	for _, c := range rep.Changed {
+		inCover := false
+		for _, ti := range rep.Cover {
+			if int(ti) == c.Tuple {
+				inCover = true
+			}
+		}
+		if !inCover {
+			t.Errorf("cell %v changed outside the cover %v", c, rep.Cover)
+		}
+	}
+}
+
+func TestRepairDataProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 80; trial++ {
+		width := 4 + rng.Intn(2)
+		in := testkit.RandomInstance(rng, 8+rng.Intn(8), width, 2)
+		sigma := testkit.RandomFDs(rng, width, 1+rng.Intn(2), 2)
+		rep, err := RepairData(in, sigma, nil, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d: %v\nΣ=%v\n%s", trial, err, sigma, in)
+		}
+		// (1) The output satisfies Σ'.
+		if !sigma.SatisfiedBy(rep.Instance) {
+			t.Fatalf("trial %d: repaired instance violates Σ'\nΣ=%v\nin:\n%s\nout:\n%s",
+				trial, sigma, in, rep.Instance)
+		}
+		// (2) Tuple count unchanged; untouched tuples identical.
+		if rep.Instance.N() != in.N() {
+			t.Fatalf("trial %d: tuple count changed", trial)
+		}
+		// (3) Change bound per Theorem 3.
+		alpha := width - 1
+		if len(sigma) < alpha {
+			alpha = len(sigma)
+		}
+		if rep.NumChanges() > alpha*len(rep.Cover) {
+			t.Fatalf("trial %d: %d changes > α·|C2opt| = %d·%d",
+				trial, rep.NumChanges(), alpha, len(rep.Cover))
+		}
+		// (4) Changed cells agree with DiffCells.
+		diff, err := in.DiffCells(rep.Instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diff) != rep.NumChanges() {
+			t.Fatalf("trial %d: DiffCells reports %d, Changed reports %d",
+				trial, len(diff), rep.NumChanges())
+		}
+		// (5) Grounding the V-instance preserves satisfaction.
+		if !sigma.SatisfiedBy(rep.Instance.Ground("fresh_")) {
+			t.Fatalf("trial %d: grounded repair violates Σ'", trial)
+		}
+	}
+}
+
+func TestRepairDataPerTupleChangeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		width := 5
+		in := testkit.RandomInstance(rng, 12, width, 2)
+		sigma := testkit.RandomFDs(rng, width, 2, 2)
+		rep, err := RepairData(in, sigma, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perTuple := map[int]int{}
+		for _, c := range rep.Changed {
+			perTuple[c.Tuple]++
+		}
+		bound := width - 1
+		if len(sigma) < bound {
+			bound = len(sigma)
+		}
+		for ti, n := range perTuple {
+			if n > bound {
+				t.Fatalf("trial %d: tuple %d changed %d cells > min{|R|-1,|Σ|} = %d",
+					trial, ti, n, bound)
+			}
+		}
+	}
+}
+
+func TestRepairDataWithSuppliedCover(t *testing.T) {
+	in, _ := testkit.Paper4x4()
+	sigma := fd.MustParseSet(in.Schema, "C,A->B; C->D")
+	an := conflict.New(in, sigma)
+	cover := an.Cover(nil)
+	rep, err := RepairData(in, sigma, cover, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sigma.SatisfiedBy(rep.Instance) {
+		t.Fatal("repair with supplied cover violates Σ'")
+	}
+	if len(rep.Cover) != len(cover) {
+		t.Error("supplied cover not used")
+	}
+}
+
+func TestRepairDataRejectsNonCover(t *testing.T) {
+	in := testkit.Build([]string{"A", "B"}, [][]string{
+		{"1", "x"}, {"1", "y"},
+	})
+	sigma := fd.MustParseSet(in.Schema, "A->B")
+	// An empty "cover" cannot license a repair of a violated instance.
+	if _, err := RepairData(in, sigma, []int32{}, 0); err == nil {
+		t.Error("non-cover must be rejected")
+	}
+}
+
+func TestRepairDataDeterministicPerSeed(t *testing.T) {
+	in, _ := testkit.Paper4x4()
+	sigma := fd.MustParseSet(in.Schema, "A->B; C->D")
+	a, err := RepairData(in, sigma, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RepairData(in, sigma, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumChanges() != b.NumChanges() {
+		t.Error("same seed must give the same repair size")
+	}
+	for i := range a.Changed {
+		if a.Changed[i] != b.Changed[i] {
+			t.Error("same seed must change the same cells")
+		}
+	}
+}
+
+func TestRepairDataSatisfiedInputUntouched(t *testing.T) {
+	in := testkit.Build([]string{"A", "B"}, [][]string{
+		{"1", "x"}, {"2", "y"},
+	})
+	sigma := fd.MustParseSet(in.Schema, "A->B")
+	rep, err := RepairData(in, sigma, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumChanges() != 0 {
+		t.Errorf("satisfied input was changed: %v", rep.Changed)
+	}
+}
+
+func TestRepairDataUsesVariablesOnlyWhenFree(t *testing.T) {
+	// Repairing A->B where the violating tuple's partner fixes the value:
+	// the repaired cell should become either the partner's B or a fresh
+	// variable; both satisfy Σ'. Just assert V-instance semantics hold.
+	in := testkit.Build([]string{"A", "B", "C"}, [][]string{
+		{"1", "x", "c1"}, {"1", "y", "c2"}, {"2", "z", "c3"},
+	})
+	sigma := fd.MustParseSet(in.Schema, "A->B")
+	rep, err := RepairData(in, sigma, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sigma.SatisfiedBy(rep.Instance) {
+		t.Fatal("violates after repair")
+	}
+	if rep.NumChanges() > 1 {
+		t.Errorf("one violating pair needs at most 1 change, got %d", rep.NumChanges())
+	}
+}
+
+// TestRepairDataStressLarger runs a bigger randomized round to shake out
+// index-maintenance bugs (clean-set index updated as tuples are fixed).
+func TestRepairDataStressLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	in := testkit.RandomInstance(rng, 400, 6, 3)
+	sigma := testkit.RandomFDs(rng, 6, 3, 2)
+	rep, err := RepairData(in, sigma, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sigma.SatisfiedBy(rep.Instance) {
+		t.Fatal("large repair violates Σ'")
+	}
+	alpha := 3
+	if rep.NumChanges() > alpha*len(rep.Cover) {
+		t.Errorf("changes %d exceed bound %d", rep.NumChanges(), alpha*len(rep.Cover))
+	}
+}

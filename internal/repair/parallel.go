@@ -1,0 +1,90 @@
+package repair
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// RunSamplingParallel is the parallel form of the Sampling-Repair baseline
+// that Section 7 of the paper notes is trivial ("this can be easily
+// parallelized, but may be inefficient"): one worker per τ sample, each
+// with its own session, since the conflict analysis keeps per-search
+// scratch state. Results are deduplicated by FD modification and returned
+// in descending-τ order, matching RunSampling's output for the same τ
+// list. workers ≤ 0 selects GOMAXPROCS.
+func RunSamplingParallel(in *relation.Instance, sigma fd.Set, taus []int, cfg Config, workers int) ([]*Repair, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(taus) {
+		workers = len(taus)
+	}
+	if workers == 0 {
+		return nil, nil
+	}
+
+	type slot struct {
+		rep *Repair
+		err error
+	}
+	results := make([]slot, len(taus))
+	var wg sync.WaitGroup
+	next := make(chan int)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s, err := NewSession(in, sigma, cfg)
+				if err != nil {
+					results[i] = slot{err: err}
+					continue
+				}
+				r, err := s.Run(taus[i])
+				results[i] = slot{rep: r, err: err}
+			}
+		}()
+	}
+	for i := range taus {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Deduplicate in the caller's τ order, exactly like RunSampling.
+	var out []*Repair
+	seen := make(map[string]bool)
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("repair: sampling τ=%d: %w", taus[i], r.err)
+		}
+		if r.rep == nil {
+			continue
+		}
+		key := r.rep.Ext.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, r.rep)
+	}
+	return out, nil
+}
+
+// SortRepairsByTrust orders repairs from "trust the FDs" to "trust the
+// data": descending δP, ties broken by ascending FD cost. RunRange already
+// returns this order; the helper normalizes merged or sampled result sets.
+func SortRepairsByTrust(reps []*Repair) {
+	sort.SliceStable(reps, func(i, j int) bool {
+		if reps[i].DeltaP != reps[j].DeltaP {
+			return reps[i].DeltaP > reps[j].DeltaP
+		}
+		return reps[i].FDCost < reps[j].FDCost
+	})
+}

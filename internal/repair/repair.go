@@ -1,0 +1,206 @@
+package repair
+
+import (
+	"fmt"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+	"relatrust/internal/search"
+	"relatrust/internal/weights"
+)
+
+// Repair is one suggested repair (Σ′, I′): the modified FD set, the
+// repaired V-instance, and the bookkeeping that places the suggestion on
+// the relative-trust spectrum.
+type Repair struct {
+	// Sigma is the modified FD set Σ′ ∈ S(Σ).
+	Sigma fd.Set
+	// Ext is Δc(Σ, Σ′), the per-FD LHS extensions.
+	Ext search.State
+	// FDCost is dist_c(Σ, Σ′) under the configured weighting.
+	FDCost float64
+	// Data is the materialized data repair with I′ ⊨ Σ′.
+	Data *DataRepair
+	// Tau is the threshold this repair was generated for.
+	Tau int
+	// DeltaP is δP(Σ′, I) = α·|C2opt|, the guaranteed upper bound on cell
+	// changes; Data.NumChanges() never exceeds it.
+	DeltaP int
+	// Stats carries the FD-search effort.
+	Stats search.Stats
+}
+
+// String summarizes the repair for logs and CLIs.
+func (r *Repair) String() string {
+	return fmt.Sprintf("τ=%d: Σ'=%s, dist_c=%.3g, δP=%d, cell changes=%d",
+		r.Tau, r.Sigma, r.FDCost, r.DeltaP, r.Data.NumChanges())
+}
+
+// Config carries the knobs shared by the repair entry points.
+type Config struct {
+	// Weights prices LHS extensions; nil means weights.AttrCount.
+	Weights weights.Func
+	// Search tunes the FD-modification search; the zero value selects A*
+	// with the defaults.
+	Search search.Options
+	// Seed drives the randomized data-repair order (Algorithm 4).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Weights == nil {
+		c.Weights = weights.AttrCount{}
+	}
+	if !c.Search.Heuristic && c.Search.MaxDiffSets == 0 && c.Search.CapPerCluster == 0 &&
+		c.Search.ComboCap == 0 && c.Search.MaxVisited == 0 {
+		// Zero value: default to the paper's A*.
+		c.Search = search.DefaultOptions()
+	}
+	return c
+}
+
+// Session prepares an instance/FD pair for repeated repair calls: the
+// conflict analysis and difference sets are computed once. Sessions are
+// not safe for concurrent use.
+type Session struct {
+	In       *relation.Instance
+	Sigma    fd.Set
+	Analysis *conflict.Analysis
+	Searcher *search.Searcher
+	cfg      Config
+}
+
+// NewSession analyzes the instance against the FD set.
+func NewSession(in *relation.Instance, sigma fd.Set, cfg Config) (*Session, error) {
+	if len(sigma) == 0 {
+		return nil, fmt.Errorf("repair: empty FD set")
+	}
+	if in.N() == 0 {
+		return nil, fmt.Errorf("repair: empty instance")
+	}
+	for _, f := range sigma {
+		if f.RHS >= in.Schema.Width() || f.LHS.Max() >= in.Schema.Width() {
+			return nil, fmt.Errorf("repair: FD %s references attributes outside schema %s", f, in.Schema)
+		}
+	}
+	cfg = cfg.withDefaults()
+	an := conflict.New(in, sigma)
+	return &Session{
+		In:       in,
+		Sigma:    sigma,
+		Analysis: an,
+		Searcher: search.NewSearcher(an, cfg.Weights, cfg.Search),
+		cfg:      cfg,
+	}, nil
+}
+
+// DeltaPOriginal returns δP(Σ, I) — the number of cell changes that
+// repairing the data alone is bounded by, and the denominator of τr.
+func (s *Session) DeltaPOriginal() int { return s.Searcher.DeltaPOriginal() }
+
+// TauFromRelative converts a relative threshold τr ∈ [0,1] into an absolute
+// cell-change budget, rounding half away from zero so τr=100% always admits
+// the pure-data repair.
+func (s *Session) TauFromRelative(taur float64) int {
+	if taur < 0 {
+		taur = 0
+	}
+	return int(taur*float64(s.DeltaPOriginal()) + 0.5)
+}
+
+// Run implements Algorithm 1 (Repair_Data_FDs): it finds the FD repair
+// closest to Σ whose δP is within tau, then materializes the data repair.
+// It returns nil (the paper's (φ, φ)) when no FD relaxation fits the
+// budget.
+func (s *Session) Run(tau int) (*Repair, error) {
+	res, err := s.Searcher.Find(tau)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, nil
+	}
+	return s.materialize(res, tau)
+}
+
+// RunRange implements Algorithm 6 followed by data-repair materialization:
+// one search pass yields the distinct FD repairs for every τ in [tauLow,
+// tauHigh]; each is then completed into a full (Σ′, I′) suggestion.
+func (s *Session) RunRange(tauLow, tauHigh int) ([]*Repair, error) {
+	results, err := s.Searcher.FindRange(tauLow, tauHigh)
+	if err != nil {
+		return nil, err
+	}
+	repairs := make([]*Repair, 0, len(results))
+	tau := tauHigh
+	for _, res := range results {
+		r, err := s.materialize(res, tau)
+		if err != nil {
+			return nil, err
+		}
+		repairs = append(repairs, r)
+		tau = res.DeltaP - 1 // the next repair was found under this bound
+	}
+	return repairs, nil
+}
+
+// materialize runs the data-repair phase for a found FD modification,
+// reusing the search's vertex cover so the δP ≤ τ guarantee carries over
+// verbatim to the cell-change count.
+func (s *Session) materialize(res *search.Result, tau int) (*Repair, error) {
+	cover := s.Analysis.Cover(res.State)
+	data, err := RepairData(s.In, res.Sigma, cover, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Repair{
+		Sigma:  res.Sigma,
+		Ext:    res.State,
+		FDCost: res.Cost,
+		Data:   data,
+		Tau:    tau,
+		DeltaP: res.DeltaP,
+		Stats:  res.Stats,
+	}, nil
+}
+
+// Run is the one-shot convenience wrapper around NewSession + Session.Run.
+func Run(in *relation.Instance, sigma fd.Set, tau int, cfg Config) (*Repair, error) {
+	s, err := NewSession(in, sigma, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(tau)
+}
+
+// RunSampling is the Sampling-Repair baseline of Section 8.3.5: it invokes
+// an independent single-τ search per requested threshold (mirroring
+// repeated executions of Algorithm 1) and deduplicates identical FD
+// repairs. Thresholds are processed as given.
+func RunSampling(in *relation.Instance, sigma fd.Set, taus []int, cfg Config) ([]*Repair, error) {
+	var out []*Repair
+	seen := make(map[string]bool)
+	for _, tau := range taus {
+		// A fresh session per τ reproduces the cost profile of running
+		// Algorithm 1 from scratch, which is what the baseline measures.
+		s, err := NewSession(in, sigma, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Run(tau)
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			continue
+		}
+		key := r.Ext.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+	"relatrust/internal/search"
+	"relatrust/internal/testkit"
+	"relatrust/internal/weights"
+)
+
+func TestRunPaperExample(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	s, err := NewSession(in, sigma, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("no repair at τ=2")
+	}
+	if rep.FDCost != 1 {
+		t.Errorf("dist_c = %v, want 1", rep.FDCost)
+	}
+	if rep.Data.NumChanges() > 2 {
+		t.Errorf("cell changes %d exceed τ=2", rep.Data.NumChanges())
+	}
+	if !rep.Sigma.SatisfiedBy(rep.Data.Instance) {
+		t.Error("I' must satisfy Σ'")
+	}
+	if len(rep.String()) == 0 {
+		t.Error("empty String")
+	}
+}
+
+// TestRunRespectsTau: for every τ, the materialized repair never changes
+// more than τ cells — Theorem 2's guarantee carried through δP.
+func TestRunRespectsTau(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		width := 4 + rng.Intn(2)
+		in := testkit.RandomInstance(rng, 10+rng.Intn(8), width, 2)
+		sigma := testkit.RandomFDs(rng, width, 1+rng.Intn(2), 2)
+		s, err := NewSession(in, sigma, Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp := s.DeltaPOriginal()
+		for _, tau := range []int{0, dp / 3, dp} {
+			rep, err := s.Run(tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep == nil {
+				continue
+			}
+			if rep.Data.NumChanges() > tau {
+				t.Fatalf("trial %d: %d cell changes > τ=%d (δP=%d)\nΣ=%v",
+					trial, rep.Data.NumChanges(), tau, rep.DeltaP, sigma)
+			}
+			if !rep.Sigma.SatisfiedBy(rep.Data.Instance) {
+				t.Fatalf("trial %d: I' violates Σ'", trial)
+			}
+			if !rep.Sigma.IsRelaxationOf(sigma) {
+				t.Fatalf("trial %d: Σ' = %v is not a relaxation of Σ = %v", trial, rep.Sigma, sigma)
+			}
+		}
+	}
+}
+
+// TestRunRangeParetoFrontier: repairs across the trust range must be
+// mutually non-dominated in (dist_c, cell changes).
+func TestRunRangeParetoFrontier(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	s, err := NewSession(in, sigma, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := s.RunRange(0, s.DeltaPOriginal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) < 2 {
+		t.Fatalf("spectrum too small: %d", len(reps))
+	}
+	for i := range reps {
+		for j := range reps {
+			if i == j {
+				continue
+			}
+			a, b := reps[i], reps[j]
+			if a.FDCost <= b.FDCost && a.DeltaP <= b.DeltaP &&
+				(a.FDCost < b.FDCost || a.DeltaP < b.DeltaP) {
+				t.Errorf("repair %d (cost %v, δP %d) dominates repair %d (cost %v, δP %d)",
+					i, a.FDCost, a.DeltaP, j, b.FDCost, b.DeltaP)
+			}
+		}
+	}
+}
+
+// TestRangeAndSamplingAgree: Range-Repair and Sampling-Repair must produce
+// the same set of FD repairs when sampling covers every τ.
+func TestRangeAndSamplingAgree(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	s, err := NewSession(in, sigma, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := s.DeltaPOriginal()
+	ranged, err := s.RunRange(0, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := make([]int, 0, dp+1)
+	for tau := dp; tau >= 0; tau-- {
+		taus = append(taus, tau)
+	}
+	sampled, err := RunSampling(in, sigma, taus, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranged) != len(sampled) {
+		t.Fatalf("range found %d repairs, sampling found %d", len(ranged), len(sampled))
+	}
+	for i := range ranged {
+		if ranged[i].Ext.Key() != sampled[i].Ext.Key() {
+			t.Errorf("repair %d differs: range %s vs sampling %s",
+				i, ranged[i].Ext, sampled[i].Ext)
+		}
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	if _, err := NewSession(in, fd.Set{}, Config{}); err == nil {
+		t.Error("empty Σ must be rejected")
+	}
+	if _, err := NewSession(relation.NewInstance(in.Schema), sigma, Config{}); err == nil {
+		t.Error("empty instance must be rejected")
+	}
+	bad := fd.Set{fd.MustNew(relation.NewAttrSet(10), 11)}
+	if _, err := NewSession(in, bad, Config{}); err == nil {
+		t.Error("out-of-schema FD must be rejected")
+	}
+}
+
+func TestTauFromRelative(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	s, err := NewSession(in, sigma, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TauFromRelative(1.0); got != s.DeltaPOriginal() {
+		t.Errorf("τr=100%% → %d, want δP=%d", got, s.DeltaPOriginal())
+	}
+	if got := s.TauFromRelative(0); got != 0 {
+		t.Errorf("τr=0 → %d, want 0", got)
+	}
+	if got := s.TauFromRelative(-0.5); got != 0 {
+		t.Errorf("negative τr → %d, want 0", got)
+	}
+}
+
+func TestRunOneShotWrapper(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	rep, err := Run(in, sigma, 100, Config{Weights: weights.AttrCount{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.FDCost != 0 {
+		t.Fatalf("large τ should give the zero-cost repair, got %+v", rep)
+	}
+}
+
+func TestBestFirstConfig(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	s, err := NewSession(in, sigma, Config{Search: search.Options{Heuristic: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.FDCost != 1 {
+		t.Fatalf("best-first config broken: %+v", rep)
+	}
+}
+
+// TestMinimalityAgainstBruteForce verifies the τ-constrained-repair
+// property on random instances: no FD relaxation with δP ≤ τ is cheaper
+// than the one returned (brute force over the whole extension lattice).
+func TestMinimalityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		width := 4
+		in := testkit.RandomInstance(rng, 8, width, 2)
+		sigma := testkit.RandomFDs(rng, width, 1, 2)
+		s, err := NewSession(in, sigma, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp := s.DeltaPOriginal()
+		for _, tau := range []int{0, dp / 2} {
+			rep, err := s.Run(tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best := bruteForceBestCost(s, sigma, width, tau)
+			if rep == nil {
+				if best >= 0 {
+					t.Fatalf("trial %d τ=%d: search says infeasible, brute force found cost %d", trial, tau, best)
+				}
+				continue
+			}
+			if int(rep.FDCost) != best {
+				t.Fatalf("trial %d τ=%d: search cost %v, brute force %d\nΣ=%v\n%s",
+					trial, tau, rep.FDCost, best, sigma, in)
+			}
+		}
+	}
+}
+
+// bruteForceBestCost enumerates every extension vector and returns the
+// minimum |ext| whose δP fits τ, or -1 if none.
+func bruteForceBestCost(s *Session, sigma fd.Set, width, tau int) int {
+	alpha := s.Searcher.Alpha()
+	best := -1
+	var walk func(st search.State, fi int)
+	walk = func(st search.State, fi int) {
+		if fi == len(sigma) {
+			if s.Analysis.CoverSize(st)*alpha <= tau {
+				cost := 0
+				for _, y := range st {
+					cost += y.Len()
+				}
+				if best < 0 || cost < best {
+					best = cost
+				}
+			}
+			return
+		}
+		free := relation.FullSet(width).Diff(sigma[fi].LHS).Remove(sigma[fi].RHS)
+		attrs := free.Attrs()
+		for mask := 0; mask < 1<<len(attrs); mask++ {
+			var y relation.AttrSet
+			for b, a := range attrs {
+				if mask&(1<<b) != 0 {
+					y = y.Add(a)
+				}
+			}
+			st[fi] = y
+			walk(st, fi+1)
+		}
+		st[fi] = 0
+	}
+	walk(search.Root(len(sigma)), 0)
+	return best
+}

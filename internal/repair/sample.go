@@ -1,0 +1,85 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// SampleDataRepairs generates up to k distinct data repairs of in with
+// respect to a fixed FD set, in the spirit of the paper's reference [3]
+// ("Sampling the repairs of functional dependency violations", whose
+// algorithm Repair_Data is a tuple-wise variant of): Algorithm 4's random
+// tuple and attribute orders induce a distribution over repairs, and
+// drawing several seeds exposes the genuinely different ways the
+// violations can be resolved — useful when a human picks among suggested
+// fixes. Repairs are deduplicated by their changed-cell signature
+// (positions and values); the result is ordered by ascending change count,
+// then deterministically.
+//
+// maxTries bounds the seeds attempted (0 means 8·k). Fewer than k repairs
+// are returned when the repair space is smaller than requested.
+func SampleDataRepairs(in *relation.Instance, sigma fd.Set, k int, seed int64, maxTries int) ([]*DataRepair, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("repair: sample size %d must be positive", k)
+	}
+	if maxTries <= 0 {
+		maxTries = 8 * k
+	}
+	// One shared cover keeps the samples comparable: the variety comes
+	// from the repair order, not from re-running the matching.
+	an := conflict.New(in, sigma)
+	cover := an.Cover(nil)
+
+	seen := make(map[string]bool, k)
+	var out []*DataRepair
+	for try := 0; try < maxTries && len(out) < k; try++ {
+		rep, err := RepairData(in, sigma, cover, seed+int64(try))
+		if err != nil {
+			return nil, err
+		}
+		sig := repairSignature(rep)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, rep)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].NumChanges() != out[j].NumChanges() {
+			return out[i].NumChanges() < out[j].NumChanges()
+		}
+		return repairSignature(out[i]) < repairSignature(out[j])
+	})
+	return out, nil
+}
+
+// repairSignature canonicalizes a repair for deduplication: the sorted
+// changed cells with their new values, with variables abstracted to "?" —
+// two repairs differing only in variable identities are the same repair
+// (V-instance semantics make variable names immaterial).
+func repairSignature(rep *DataRepair) string {
+	cells := append([]relation.CellRef(nil), rep.Changed...)
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Tuple != cells[j].Tuple {
+			return cells[i].Tuple < cells[j].Tuple
+		}
+		return cells[i].Attr < cells[j].Attr
+	})
+	var b strings.Builder
+	for _, c := range cells {
+		v := rep.Instance.Tuples[c.Tuple][c.Attr]
+		fmt.Fprintf(&b, "%d:%d=", c.Tuple, c.Attr)
+		if v.IsVar() {
+			b.WriteByte('?')
+		} else {
+			b.WriteString(v.Str())
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}

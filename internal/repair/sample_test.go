@@ -1,0 +1,88 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/testkit"
+)
+
+func TestSampleDataRepairsDistinct(t *testing.T) {
+	// One violating pair of A->B and a free attribute: repairs differ in
+	// which cell they touch (B equalized, or A variablized, …).
+	in := testkit.Build([]string{"A", "B", "C"}, [][]string{
+		{"1", "x", "c0"}, {"1", "y", "c1"}, {"2", "z", "c2"},
+	})
+	sigma := fd.MustParseSet(in.Schema, "A->B")
+	reps, err := SampleDataRepairs(in, sigma, 4, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) < 2 {
+		t.Fatalf("expected ≥ 2 distinct repairs, got %d", len(reps))
+	}
+	sigs := map[string]bool{}
+	for _, r := range reps {
+		if !sigma.SatisfiedBy(r.Instance) {
+			t.Fatal("sampled repair violates Σ")
+		}
+		sig := repairSignature(r)
+		if sigs[sig] {
+			t.Fatalf("duplicate repair signature %q", sig)
+		}
+		sigs[sig] = true
+	}
+	// Sorted by ascending change count.
+	for i := 1; i < len(reps); i++ {
+		if reps[i].NumChanges() < reps[i-1].NumChanges() {
+			t.Error("samples not sorted by change count")
+		}
+	}
+}
+
+func TestSampleDataRepairsValidInput(t *testing.T) {
+	in, sigma := testkit.Paper4x4()
+	if _, err := SampleDataRepairs(in, sigma, 0, 1, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	reps, err := SampleDataRepairs(in, sigma, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) == 0 {
+		t.Fatal("no repairs sampled")
+	}
+}
+
+func TestSampleSatisfiedInstanceOneRepair(t *testing.T) {
+	in := testkit.Build([]string{"A", "B"}, [][]string{{"1", "x"}, {"2", "y"}})
+	sigma := fd.MustParseSet(in.Schema, "A->B")
+	reps, err := SampleDataRepairs(in, sigma, 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0].NumChanges() != 0 {
+		t.Fatalf("satisfied instance has exactly one (empty) repair, got %d", len(reps))
+	}
+}
+
+func TestSampleVariableIdentityAbstraction(t *testing.T) {
+	// Two runs that only differ in variable IDs must collapse to one
+	// sample: signatures abstract variables to "?".
+	rng := rand.New(rand.NewSource(2))
+	in := testkit.RandomInstance(rng, 8, 3, 2)
+	sigma := testkit.RandomFDs(rng, 3, 1, 1)
+	reps, err := SampleDataRepairs(in, sigma, 50, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range reps {
+		sig := repairSignature(r)
+		if seen[sig] {
+			t.Fatalf("duplicate after variable abstraction: %q", sig)
+		}
+		seen[sig] = true
+	}
+}

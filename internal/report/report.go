@@ -1,0 +1,120 @@
+// Package report renders repairs as human-readable summaries: the trust
+// spectrum as a table, per-repair cell-change listings, and a side-by-side
+// diff of the touched tuples. The CLI uses it; library users can too.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"relatrust/internal/relation"
+	"relatrust/internal/repair"
+)
+
+// Options tunes rendering.
+type Options struct {
+	// MaxCells caps the changed-cell listing per repair (0 = 20).
+	MaxCells int
+	// ShowTuples adds a before/after rendering of each touched tuple.
+	ShowTuples bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCells <= 0 {
+		o.MaxCells = 20
+	}
+	return o
+}
+
+// Spectrum renders the full list of suggested repairs as a table: one row
+// per trust level with the FD modification, its cost, and the data cost.
+func Spectrum(w io.Writer, in *relation.Instance, repairs []*repair.Repair) error {
+	tw := newTable("level", "tau", "FD modification", "dist_c", "cell changes", "bound δP")
+	for i, r := range repairs {
+		tw.row(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", r.Tau),
+			r.Sigma.Format(in.Schema),
+			fmt.Sprintf("%.4g", r.FDCost),
+			fmt.Sprintf("%d", r.Data.NumChanges()),
+			fmt.Sprintf("%d", r.DeltaP),
+		)
+	}
+	_, err := io.WriteString(w, tw.String())
+	return err
+}
+
+// Changes renders the changed cells of one repair.
+func Changes(w io.Writer, in *relation.Instance, r *repair.Repair, opt Options) error {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	for i, c := range r.Data.Changed {
+		if i >= opt.MaxCells {
+			fmt.Fprintf(&b, "  … %d more changes\n", r.Data.NumChanges()-i)
+			break
+		}
+		fmt.Fprintf(&b, "  %-16s %s → %s\n", c.Format(in.Schema),
+			in.Tuples[c.Tuple][c.Attr], r.Data.Instance.Tuples[c.Tuple][c.Attr])
+	}
+	if opt.ShowTuples {
+		seen := map[int]bool{}
+		for _, c := range r.Data.Changed {
+			if seen[c.Tuple] {
+				continue
+			}
+			seen[c.Tuple] = true
+			fmt.Fprintf(&b, "  t%d before: %s\n", c.Tuple, renderTuple(in.Tuples[c.Tuple]))
+			fmt.Fprintf(&b, "  t%d after:  %s\n", c.Tuple, renderTuple(r.Data.Instance.Tuples[c.Tuple]))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderTuple(t relation.Tuple) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// table is a minimal aligned-column writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

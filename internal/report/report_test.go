@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"relatrust/internal/repair"
+	"relatrust/internal/testkit"
+)
+
+func spectrumFixture(t *testing.T) (*repair.Session, []*repair.Repair) {
+	t.Helper()
+	in, sigma := testkit.Paper4x4()
+	s, err := repair.NewSession(in, sigma, repair.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := s.RunRange(0, s.DeltaPOriginal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) == 0 {
+		t.Fatal("no repairs")
+	}
+	return s, reps
+}
+
+func TestSpectrumTable(t *testing.T) {
+	s, reps := spectrumFixture(t)
+	var b strings.Builder
+	if err := Spectrum(&b, s.In, reps); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "FD modification") {
+		t.Error("missing header")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(reps)+1 {
+		t.Errorf("table has %d lines, want %d", len(lines), len(reps)+1)
+	}
+	// Columns align: every line at least as long as the header's prefix.
+	if len(lines[1]) < len("level") {
+		t.Error("row rendering broken")
+	}
+}
+
+func TestChangesListing(t *testing.T) {
+	s, reps := spectrumFixture(t)
+	first := reps[0] // pure data repair: has changes
+	var b strings.Builder
+	if err := Changes(&b, s.In, first, Options{ShowTuples: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "→") {
+		t.Errorf("no change arrows in output:\n%s", out)
+	}
+	if !strings.Contains(out, "before:") || !strings.Contains(out, "after:") {
+		t.Error("tuple diff missing")
+	}
+}
+
+func TestChangesCap(t *testing.T) {
+	s, reps := spectrumFixture(t)
+	first := reps[0]
+	if first.Data.NumChanges() < 2 {
+		t.Skip("fixture produced fewer than 2 changes")
+	}
+	var b strings.Builder
+	if err := Changes(&b, s.In, first, Options{MaxCells: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "more changes") {
+		t.Errorf("cap not applied:\n%s", b.String())
+	}
+}

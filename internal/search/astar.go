@@ -1,0 +1,358 @@
+package search
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+	"relatrust/internal/weights"
+)
+
+// Options tunes the FD-modification search.
+type Options struct {
+	// Heuristic selects A* with the gc(S) lower bound (true, the paper's
+	// A*-Repair) or plain best-first search on state cost (false, the
+	// Best-First-Repair baseline).
+	Heuristic bool
+	// MaxDiffSets caps |Ds|, the difference sets the heuristic reasons
+	// about per state. Larger is tighter but more expensive. Default 3.
+	MaxDiffSets int
+	// ComboCap bounds the resolution cross-product enumerated per
+	// difference set before the heuristic falls back to an aggregate
+	// lower bound. Default 16.
+	ComboCap int
+	// CapPerCluster bounds conflict-graph edges sampled per violation
+	// cluster when collecting difference sets. Default 50.
+	CapPerCluster int
+	// MaxVisited aborts the search after this many states have been
+	// popped, as a runaway guard. Default 2,000,000.
+	MaxVisited int
+	// MatchSampleCap bounds the vertex-disjoint matching sample behind
+	// the knapsack half of the heuristic. Default 2000.
+	MatchSampleCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDiffSets <= 0 {
+		o.MaxDiffSets = 3
+	}
+	if o.ComboCap <= 0 {
+		o.ComboCap = 16
+	}
+	if o.CapPerCluster <= 0 {
+		o.CapPerCluster = 50
+	}
+	if o.MaxVisited <= 0 {
+		o.MaxVisited = 2_000_000
+	}
+	if o.MatchSampleCap <= 0 {
+		o.MatchSampleCap = 2000
+	}
+	return o
+}
+
+// DefaultOptions returns the A* configuration used by the paper's
+// experiments.
+func DefaultOptions() Options { return Options{Heuristic: true}.withDefaults() }
+
+// Stats reports search effort.
+type Stats struct {
+	Visited   int           // states popped from the open list
+	Generated int           // child states created
+	GCCalls   int           // heuristic evaluations
+	Duration  time.Duration // wall-clock time of the search call
+}
+
+// Result is one FD repair: the extension vector, the corresponding FD set,
+// its cost dist_c(Σ, Σ′), and the cover statistics that determine how many
+// cell changes the data-repair phase needs.
+type Result struct {
+	State     State
+	Sigma     fd.Set  // base set with extensions applied
+	Cost      float64 // dist_c(Σ, Σ′) under the searcher's weighting
+	CoverSize int     // |C2opt(Σ′, I)|
+	DeltaP    int     // δP(Σ′, I) = α·CoverSize: upper bound on cell changes
+	Stats     Stats
+}
+
+// Searcher runs FD-modification searches over one analyzed instance. It is
+// not safe for concurrent use (it shares the analysis' scratch space).
+type Searcher struct {
+	An    *conflict.Analysis
+	W     weights.Func
+	Opt   Options
+	alpha int
+	floor int // α·(permanent matching): hard lower bound on δP of every Σ′
+	ds    []conflict.DiffSet
+	h     *heuristic
+	costs *costCache
+}
+
+// NewSearcher prepares a searcher: collects difference sets once and wires
+// the heuristic. The weighting w prices LHS extensions.
+func NewSearcher(an *conflict.Analysis, w weights.Func, opt Options) *Searcher {
+	opt = opt.withDefaults()
+	width := an.In.Schema.Width()
+	alpha := width - 1
+	if len(an.Sigma) < alpha {
+		alpha = len(an.Sigma)
+	}
+	if alpha < 1 {
+		alpha = 1
+	}
+	s := &Searcher{
+		An:    an,
+		W:     w,
+		Opt:   opt,
+		alpha: alpha,
+		floor: alpha * an.PermanentMatching(),
+		ds:    an.DiffSets(opt.CapPerCluster),
+		costs: &costCache{w: w},
+	}
+	s.h = &heuristic{
+		sigma:      an.Sigma,
+		w:          s.costs,
+		alpha:      alpha,
+		maxDs:      opt.MaxDiffSets,
+		comboCap:   opt.ComboCap,
+		width:      width,
+		matchDiffs: matchDiffs(an, opt.MatchSampleCap),
+	}
+	return s
+}
+
+// Alpha returns α = min{|R|−1, |Σ|}, the per-tuple change bound.
+func (s *Searcher) Alpha() int { return s.alpha }
+
+// DeltaPOriginal returns δP(Σ, I) for the unmodified FD set — the natural
+// upper end of the τ range and the denominator of the relative threshold
+// τr used throughout the experiments.
+func (s *Searcher) DeltaPOriginal() int { return s.alpha * s.An.CoverSize(nil) }
+
+// DiffSetCount reports how many distinct difference sets were collected.
+func (s *Searcher) DiffSetCount() int { return len(s.ds) }
+
+// FeasibilityFloor returns the smallest τ for which any repair can exist:
+// α times a maximal matching over conflict edges that no LHS extension
+// resolves (tuple pairs identical except on an FD's RHS). Find(tau) with
+// tau below this returns φ without searching.
+func (s *Searcher) FeasibilityFloor() int { return s.floor }
+
+// node is an open-list entry.
+type node struct {
+	state State
+	cost  float64 // g: dist_c of the state itself
+	gc    float64 // estimated cost of the cheapest goal descendant (= cost for best-first)
+	seq   int     // insertion order, for deterministic tie-breaking
+	index int     // heap bookkeeping
+}
+
+type openList []*node
+
+func (o openList) Len() int { return len(o) }
+func (o openList) Less(i, j int) bool {
+	if o[i].gc != o[j].gc {
+		return o[i].gc < o[j].gc
+	}
+	if o[i].cost != o[j].cost {
+		return o[i].cost < o[j].cost
+	}
+	return o[i].seq < o[j].seq
+}
+func (o openList) Swap(i, j int) {
+	o[i], o[j] = o[j], o[i]
+	o[i].index, o[j].index = i, j
+}
+func (o *openList) Push(x any) {
+	n := x.(*node)
+	n.index = len(*o)
+	*o = append(*o, n)
+}
+func (o *openList) Pop() any {
+	old := *o
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*o = old[:len(old)-1]
+	return n
+}
+
+// Find implements Algorithm 2 (Modify_FDs): it returns the FD repair of
+// minimum dist_c whose δP is at most tau, or nil if none exists (which can
+// only happen if some conflicting pair differs solely on an FD's RHS, so no
+// LHS extension resolves it, and tau is too small to repair it by data
+// changes).
+func (s *Searcher) Find(tau int) (*Result, error) {
+	res, err := s.run(tau, tau, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return nil, nil
+	}
+	return res[0], nil
+}
+
+// FindRange implements Algorithm 6 (Find_Repairs_FDs): it returns the FD
+// repairs for every distinct relative-trust level with τ in [tauLow,
+// tauHigh], ordered by decreasing τ (increasing FD cost), reusing one open
+// list across levels instead of re-running the search per τ.
+func (s *Searcher) FindRange(tauLow, tauHigh int) ([]*Result, error) {
+	if tauLow > tauHigh {
+		return nil, fmt.Errorf("search: tauLow %d exceeds tauHigh %d", tauLow, tauHigh)
+	}
+	return s.run(tauLow, tauHigh, nil)
+}
+
+// run is the shared engine: a single-τ search is a range search whose first
+// goal ends it. The onGoal hook, when non-nil, observes every goal found.
+func (s *Searcher) run(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result, error) {
+	start := time.Now()
+	stats := Stats{}
+	tau := tauHigh
+	sigma := s.An.Sigma
+	width := s.An.In.Schema.Width()
+
+	// Permanent conflicts put a hard floor under δP of every relaxation:
+	// below it there is no goal anywhere in the space, so don't search.
+	if tau < s.floor {
+		return nil, nil
+	}
+
+	gcOf := func(st State, cost float64, tau int) float64 {
+		if !s.Opt.Heuristic {
+			return cost
+		}
+		stats.GCCalls++
+		return s.h.gc(st, s.ds, tau)
+	}
+
+	var results []*Result
+	pq := &openList{}
+	heap.Init(pq)
+	seq := 0
+	root := Root(len(sigma))
+	rootCost := s.costs.StateCost(root)
+	heap.Push(pq, &node{state: root, cost: rootCost, gc: gcOf(root, rootCost, tau), seq: seq})
+	var childBuf []State
+
+	for pq.Len() > 0 && tau >= tauLow {
+		if stats.Visited >= s.Opt.MaxVisited {
+			return nil, fmt.Errorf("search: aborted after visiting %d states (MaxVisited)", stats.Visited)
+		}
+		n := heap.Pop(pq).(*node)
+		stats.Visited++
+		coverSize := s.An.CoverSize(n.state)
+		if coverSize*s.alpha <= tau {
+			stats.Duration = time.Since(start)
+			r := &Result{
+				State:     n.state,
+				Sigma:     n.state.Apply(sigma),
+				Cost:      n.cost,
+				CoverSize: coverSize,
+				DeltaP:    coverSize * s.alpha,
+				Stats:     stats,
+			}
+			// Definition 4 breaks dist_c ties by the smaller data distance:
+			// a later goal with equal cost has strictly smaller δP (τ was
+			// tightened below the previous goal's δP before it was found),
+			// so it supersedes the previous result instead of joining it.
+			if k := len(results); k > 0 && math.Abs(results[k-1].Cost-r.Cost) < 1e-9 {
+				results[k-1] = r
+			} else {
+				results = append(results, r)
+			}
+			if onGoal != nil {
+				onGoal(r)
+			}
+			// Demand strictly fewer data changes for the next repair
+			// (Algorithm 6, line 10) and re-estimate the open list under
+			// the tightened τ.
+			tau = coverSize*s.alpha - 1
+			if tau < tauLow || tau < s.floor {
+				break
+			}
+			rebuilt := (*pq)[:0]
+			for _, m := range *pq {
+				m.gc = gcOf(m.state, m.cost, tau)
+				if !math.IsInf(m.gc, 1) {
+					m.index = len(rebuilt)
+					rebuilt = append(rebuilt, m)
+				}
+			}
+			*pq = rebuilt
+			heap.Init(pq)
+		}
+		childBuf = n.state.Children(width, sigma, childBuf[:0])
+		for _, c := range childBuf {
+			stats.Generated++
+			cost := s.costs.StateCost(c)
+			gc := gcOf(c, cost, tau)
+			if math.IsInf(gc, 1) {
+				continue // no goal state can descend from c within τ
+			}
+			seq++
+			heap.Push(pq, &node{state: c, cost: cost, gc: gc, seq: seq})
+		}
+	}
+	stats.Duration = time.Since(start)
+	for _, r := range results {
+		r.Stats = stats
+	}
+	return results, nil
+}
+
+// matchDiffs extracts the difference sets of the analysis' matching
+// sample.
+func matchDiffs(an *conflict.Analysis, cap int) []relation.AttrSet {
+	edges := an.MatchingEdgeSample(cap)
+	out := make([]relation.AttrSet, len(edges))
+	for i, e := range edges {
+		out[i] = an.In.Tuples[e.T1].DiffSet(an.In.Tuples[e.T2])
+	}
+	return out
+}
+
+// costCache adapts a weights.Func to the heuristic's costFunc, memoizing
+// single-set weights (vector costs are sums of per-position weights).
+type costCache struct {
+	w     weights.Func
+	cache map[relation.AttrSet]float64
+}
+
+func (c *costCache) weight(y relation.AttrSet) float64 {
+	if y.IsEmpty() {
+		return 0
+	}
+	if c.cache == nil {
+		c.cache = make(map[relation.AttrSet]float64)
+	}
+	if v, ok := c.cache[y]; ok {
+		return v
+	}
+	v := c.w.Weight(y)
+	c.cache[y] = v
+	return v
+}
+
+// StateCost returns dist_c(Σ, Σ′) for the extension vector.
+func (c *costCache) StateCost(s State) float64 {
+	total := 0.0
+	for _, y := range s {
+		total += c.weight(y)
+	}
+	return total
+}
+
+// Marginal returns w(cur ∪ {add}) − w(cur), clamped at 0 for safety against
+// non-monotone user weightings.
+func (c *costCache) Marginal(cur relation.AttrSet, add int) float64 {
+	m := c.weight(cur.Add(add)) - c.weight(cur)
+	if m < 0 {
+		return 0
+	}
+	return m
+}

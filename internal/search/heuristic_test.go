@@ -1,0 +1,110 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/relation"
+	"relatrust/internal/testkit"
+	"relatrust/internal/weights"
+)
+
+// TestGCAdmissibility: gc(root) must never exceed the true cheapest goal
+// cost, which the exhaustive best-first search provides. Violations would
+// break A* optimality silently, so this is the load-bearing property test
+// for both heuristic halves (recursive + knapsack).
+func TestGCAdmissibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 80; trial++ {
+		width := 4 + rng.Intn(3)
+		in := testkit.RandomInstance(rng, 8+rng.Intn(8), width, 2)
+		sigma := testkit.RandomFDs(rng, width, 1+rng.Intn(2), 2)
+
+		oracle := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: false})
+		dp := oracle.DeltaPOriginal()
+		for _, tau := range []int{0, 1, dp / 2, dp} {
+			truth, err := oracle.Find(tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hSearcher := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: true})
+			rootGC, _ := hSearcher.DiagGC(tau, nil)
+			if truth == nil {
+				continue // any gc value is fine when no goal exists
+			}
+			if rootGC > truth.Cost+1e-9 {
+				t.Fatalf("trial %d τ=%d: gc(root)=%v exceeds true optimum %v\nΣ=%v\n%s",
+					trial, tau, rootGC, truth.Cost, sigma, in)
+			}
+		}
+	}
+}
+
+// TestGCInfinityImpliesInfeasible: whenever gc(root) is +Inf, the
+// exhaustive search must also find nothing.
+func TestGCInfinityImpliesInfeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(31415))
+	infSeen := 0
+	for trial := 0; trial < 80; trial++ {
+		in := testkit.RandomInstance(rng, 8, 4, 2)
+		sigma := testkit.RandomFDs(rng, 4, 1, 2)
+		hS := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: true})
+		oracle := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: false})
+		for _, tau := range []int{0, 1} {
+			rootGC, _ := hS.DiagGC(tau, nil)
+			if !math.IsInf(rootGC, 1) {
+				continue
+			}
+			infSeen++
+			truth, err := oracle.Find(tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if truth != nil {
+				t.Fatalf("trial %d τ=%d: gc(root)=∞ but a goal exists (%s, cost %v)",
+					trial, tau, truth.State, truth.Cost)
+			}
+		}
+	}
+	if infSeen == 0 {
+		t.Skip("no infeasible instances drawn; widen the generator if this persists")
+	}
+}
+
+// TestKnapsackTightensWideDiffsets: on a workload whose difference sets
+// are wide (every violating pair differs almost everywhere), the recursive
+// bound alone collapses to ~one attribute of lookahead; the knapsack half
+// must push gc(root) above the cheapest single-attribute cost when τ
+// forces resolving most of the matching.
+func TestKnapsackTightensWideDiffsets(t *testing.T) {
+	// 6 attributes; FD A0→A5; tuples agree on A0 in pairs but differ on
+	// everything else, so each pair's difference set is {1,2,3,4,5}.
+	rows := make([][]string, 0, 20)
+	for i := 0; i < 10; i++ {
+		k := string(rune('a' + i))
+		rows = append(rows,
+			[]string{k, "x" + k + "1", "y" + k + "1", "z" + k + "1", "w" + k + "1", "r1"},
+			[]string{k, "x" + k + "2", "y" + k + "2", "z" + k + "2", "w" + k + "2", "r2"},
+		)
+	}
+	in := testkit.Build([]string{"A0", "A1", "A2", "A3", "A4", "A5"}, rows)
+	sigma := testkit.RandomFDs(rand.New(rand.NewSource(1)), 6, 1, 1)
+	sigma[0].LHS = relation.NewAttrSet(0)
+	sigma[0].RHS = 5
+	s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, DefaultOptions())
+	// All 10 pairs violate; τ=0 forces resolving all of them: at least
+	// one attribute must be appended, so gc(root) ≥ 1.
+	rootGC, _ := s.DiagGC(0, nil)
+	if rootGC < 1 {
+		t.Fatalf("gc(root) = %v, want ≥ 1", rootGC)
+	}
+	res, err := s.Find(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Cost < rootGC {
+		t.Fatalf("optimal %v vs gc %v inconsistent", res, rootGC)
+	}
+}

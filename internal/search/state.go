@@ -1,0 +1,149 @@
+// Package search implements the FD-modification state space of the paper
+// (Section 5): states are vectors of LHS extensions, organized as a tree by
+// the single-parent rule so each state is reachable by exactly one path,
+// explored either best-first (cost order) or with A* guided by the
+// difference-set lower bound gc(S) (Algorithms 2 and 3).
+package search
+
+import (
+	"fmt"
+	"strings"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// State is Δc(Σ, Σ′): the vector of attribute sets appended to the LHS of
+// each FD of the base set, indexed by FD position. The zero-length state is
+// invalid; the root state is a vector of empty sets.
+type State []relation.AttrSet
+
+// Root returns the initial state (φ, …, φ) for a base set of z FDs.
+func Root(z int) State { return make(State, z) }
+
+// Clone returns a copy of the state.
+func (s State) Clone() State { return append(State(nil), s...) }
+
+// Equal reports position-wise equality.
+func (s State) Equal(t State) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Extends reports whether s extends t: t[i] ⊆ s[i] for every i (the
+// dominance notion used for pruning and minimality in Section 5.1).
+func (s State) Extends(t State) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if !t[i].SubsetOf(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the union of all extension sets.
+func (s State) Union() relation.AttrSet {
+	var u relation.AttrSet
+	for _, y := range s {
+		u = u.Union(y)
+	}
+	return u
+}
+
+// maxAttrAndLastIdx returns the greatest attribute across the vector and the
+// last position containing it; (-1, -1) for the root.
+func (s State) maxAttrAndLastIdx() (int, int) {
+	maxA := s.Union().Max()
+	if maxA < 0 {
+		return -1, -1
+	}
+	last := -1
+	for i := range s {
+		if s[i].Contains(maxA) {
+			last = i
+		}
+	}
+	return maxA, last
+}
+
+// Parent returns the unique parent of a non-root state under the
+// single-parent rule: remove the greatest attribute from the last extension
+// containing it. Calling Parent on the root returns the root.
+func (s State) Parent() State {
+	maxA, last := s.maxAttrAndLastIdx()
+	if maxA < 0 {
+		return s.Clone()
+	}
+	p := s.Clone()
+	p[last] = p[last].Remove(maxA)
+	return p
+}
+
+// Children appends to dst every child of s in the search tree over the
+// given schema width and base FD set: states obtained by adding one
+// attribute B to one extension position i, restricted so that the
+// single-parent rule maps the child back to s — B strictly greater than
+// s's maximum attribute (any position), or equal to it at a strictly later
+// position. Attributes already in the FD (LHS or RHS) are never added.
+func (s State) Children(width int, sigma fd.Set, dst []State) []State {
+	maxA, last := s.maxAttrAndLastIdx()
+	for i := range s {
+		excl := sigma[i].LHS.Union(s[i]).Add(sigma[i].RHS)
+		for b := 0; b < width; b++ {
+			if excl.Contains(b) {
+				continue
+			}
+			if b > maxA || (b == maxA && i > last) {
+				c := s.Clone()
+				c[i] = c[i].Add(b)
+				dst = append(dst, c)
+			}
+		}
+	}
+	return dst
+}
+
+// Apply materializes the FD set Σ′ corresponding to the state: each FD's
+// LHS is extended by the state's set at that position.
+func (s State) Apply(sigma fd.Set) fd.Set {
+	out := make(fd.Set, len(sigma))
+	for i, f := range sigma {
+		out[i] = fd.FD{LHS: f.LHS.Union(s[i].Diff(f.LHS).Remove(f.RHS)), RHS: f.RHS}
+	}
+	return out
+}
+
+// Key returns a canonical string identity for maps and tests.
+func (s State) Key() string {
+	var b strings.Builder
+	for i, y := range s {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%x", uint64(y))
+	}
+	return b.String()
+}
+
+// String renders the extension vector, e.g. "({2,3}, φ)".
+func (s State) String() string {
+	parts := make([]string, len(s))
+	for i, y := range s {
+		if y.IsEmpty() {
+			parts[i] = "φ"
+		} else {
+			parts[i] = y.String()
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,26 @@
+package search
+
+// DiagGC exposes the heuristic for diagnostics and white-box tests: it
+// returns gc(root) and gc of the given single-attribute extensions at the
+// supplied τ.
+func (s *Searcher) DiagGC(tau int, attrs []int) (float64, []float64) {
+	root := Root(len(s.An.Sigma))
+	rootGC := s.h.gc(root, s.ds, tau)
+	out := make([]float64, len(attrs))
+	for i, a := range attrs {
+		st := root.Clone()
+		st[0] = st[0].Add(a)
+		out[i] = s.h.gc(st, s.ds, tau)
+	}
+	return rootGC, out
+}
+
+// DiagPickDs exposes the selected difference sets for a state.
+func (s *Searcher) DiagPickDs(tau int) []int {
+	ds := s.h.pickDs(Root(len(s.An.Sigma)), s.ds)
+	counts := make([]int, len(ds))
+	for i, d := range ds {
+		counts[i] = len(d.Edges)
+	}
+	return counts
+}

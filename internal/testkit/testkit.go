@@ -1,0 +1,159 @@
+// Package testkit provides small builders and generators shared by the test
+// suites: literal instances, random instances with controlled violation
+// structure, and brute-force reference implementations (minimum vertex
+// cover, exhaustive goal-state search) that the fast implementations are
+// checked against.
+package testkit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// Build constructs an instance from a header and rows of constants,
+// panicking on malformed input (tests only).
+func Build(header []string, rows [][]string) *relation.Instance {
+	s := relation.MustSchema(header...)
+	in := relation.NewInstance(s)
+	for _, r := range rows {
+		if err := in.AppendConsts(r...); err != nil {
+			panic(err)
+		}
+	}
+	return in
+}
+
+// Paper4x4 returns the running example of Figures 2-3 and 6 of the paper:
+// a 4-attribute, 4-tuple instance with Σ = {A→B, C→D}.
+func Paper4x4() (*relation.Instance, fd.Set) {
+	in := Build([]string{"A", "B", "C", "D"}, [][]string{
+		{"1", "1", "1", "1"},
+		{"1", "2", "1", "3"},
+		{"2", "2", "1", "1"},
+		{"2", "3", "4", "3"},
+	})
+	return in, fd.MustParseSet(in.Schema, "A->B; C->D")
+}
+
+// RandomInstance generates a small random instance: n tuples over width
+// attributes with per-attribute domain sizes dom (small domains make FD
+// violations likely). Deterministic for a fixed rng.
+func RandomInstance(rng *rand.Rand, n, width, dom int) *relation.Instance {
+	names := make([]string, width)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%d", i)
+	}
+	in := relation.NewInstance(relation.MustSchema(names...))
+	for t := 0; t < n; t++ {
+		row := make([]string, width)
+		for a := range row {
+			row[a] = fmt.Sprintf("v%d", rng.Intn(dom))
+		}
+		if err := in.AppendConsts(row...); err != nil {
+			panic(err)
+		}
+	}
+	return in
+}
+
+// RandomFDs draws k random non-trivial FDs over the schema width, each with
+// 1..maxLHS LHS attributes.
+func RandomFDs(rng *rand.Rand, width, k, maxLHS int) fd.Set {
+	set := make(fd.Set, 0, k)
+	for len(set) < k {
+		rhs := rng.Intn(width)
+		var lhs relation.AttrSet
+		for lhs.IsEmpty() {
+			for a := 0; a < width; a++ {
+				if a != rhs && rng.Intn(width) < maxLHS {
+					lhs = lhs.Add(a)
+				}
+			}
+			if lhs.Len() > maxLHS {
+				attrs := lhs.Attrs()
+				rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+				lhs = relation.NewAttrSet(attrs[:maxLHS]...)
+			}
+		}
+		set = append(set, fd.MustNew(lhs, rhs))
+	}
+	return set
+}
+
+// Edges enumerates every conflict-graph edge of (in, sigma) pairwise — the
+// O(n²) reference definition. Pairs violating several FDs appear once.
+func Edges(in *relation.Instance, sigma fd.Set) [][2]int {
+	var out [][2]int
+	for i := 0; i < in.N(); i++ {
+		for j := i + 1; j < in.N(); j++ {
+			for _, f := range sigma {
+				if f.Violates(in.Tuples[i], in.Tuples[j]) {
+					out = append(out, [2]int{i, j})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MinVertexCover computes an exact minimum vertex cover size of the given
+// edge list by exhaustive search over the involved vertices (tests only;
+// exponential).
+func MinVertexCover(edges [][2]int) int {
+	verts := map[int]int{}
+	var order []int
+	for _, e := range edges {
+		for _, v := range e {
+			if _, ok := verts[v]; !ok {
+				verts[v] = len(order)
+				order = append(order, v)
+			}
+		}
+	}
+	k := len(order)
+	if k > 22 {
+		panic("testkit: too many vertices for brute-force vertex cover")
+	}
+	best := k
+	for mask := 0; mask < 1<<k; mask++ {
+		covered := true
+		for _, e := range edges {
+			if mask&(1<<verts[e[0]]) == 0 && mask&(1<<verts[e[1]]) == 0 {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			if c := popcount(mask); c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// IsVertexCover reports whether cover (tuple indices) covers every edge.
+func IsVertexCover(edges [][2]int, cover []int32) bool {
+	in := make(map[int]bool, len(cover))
+	for _, v := range cover {
+		in[int(v)] = true
+	}
+	for _, e := range edges {
+		if !in[e[0]] && !in[e[1]] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+// Package relatrust repairs inconsistent data together with inaccurate
+// functional dependencies (FDs), implementing Beskales, Ilyas, Golab and
+// Galiullin, "On the Relative Trust between Inconsistent Data and
+// Inaccurate Constraints" (ICDE 2013).
+//
+// Given an instance I and an FD set Σ that I violates, the central
+// question is whether the data or the constraints are wrong. The package
+// exposes the paper's answer: a relative-trust parameter τ caps how many
+// cells a repair may change; for each τ the system finds the FD relaxation
+// Σ′ (LHS extensions only) closest to Σ such that I can be made to satisfy
+// Σ′ within the budget, then materializes a near-minimal data repair
+// I′ ⊨ Σ′. Sweeping τ from 0 (trust the data, fix the FDs) to δP(Σ, I)
+// (trust the FDs, fix the data) enumerates a Pareto frontier of suggested
+// repairs.
+//
+// # Quick start
+//
+//	inst, _ := relatrust.ReadCSVFile("people.csv")
+//	sigma, _ := relatrust.ParseFDs(inst.Schema, "Surname,GivenName->Income")
+//	repairs, _ := relatrust.SuggestRepairs(inst, sigma, relatrust.Options{})
+//	for _, r := range repairs {
+//	    fmt.Println(r)
+//	}
+//
+// The heavy lifting lives in the internal packages (relation, fd, conflict,
+// search, repair, …); this package is the stable entry point.
+package relatrust
+
+import (
+	"fmt"
+	"io"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+	"relatrust/internal/repair"
+	"relatrust/internal/search"
+	"relatrust/internal/weights"
+)
+
+// Re-exported core types. The aliases keep the public API to one import
+// while the implementation stays modular.
+type (
+	// Schema is an ordered list of named attributes.
+	Schema = relation.Schema
+	// Instance is a set of tuples over a schema; repaired instances are
+	// V-instances whose cells may hold variables ("any fresh value").
+	Instance = relation.Instance
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Value is one cell: a constant or a variable.
+	Value = relation.Value
+	// AttrSet is a set of attribute positions.
+	AttrSet = relation.AttrSet
+	// CellRef names one cell of an instance.
+	CellRef = relation.CellRef
+	// FD is a functional dependency X → A.
+	FD = fd.FD
+	// FDSet is an ordered FD list Σ.
+	FDSet = fd.Set
+	// Repair is one suggested (Σ′, I′) pair with its bookkeeping.
+	Repair = repair.Repair
+	// SearchStats reports the effort of the FD-modification search.
+	SearchStats = search.Stats
+	// WeightFunc prices appended LHS attributes.
+	WeightFunc = weights.Func
+)
+
+// NewSchema builds a schema from attribute names.
+func NewSchema(names ...string) (*Schema, error) { return relation.NewSchema(names...) }
+
+// NewInstance returns an empty instance of the schema.
+func NewInstance(s *Schema) *Instance { return relation.NewInstance(s) }
+
+// ReadCSV parses a header-first CSV stream into an instance.
+func ReadCSV(r io.Reader) (*Instance, error) { return relation.ReadCSV(r) }
+
+// ReadCSVFile parses a header-first CSV file into an instance.
+func ReadCSVFile(path string) (*Instance, error) { return relation.ReadCSVFile(path) }
+
+// WriteCSV writes the instance with a header row.
+func WriteCSV(w io.Writer, in *Instance) error { return relation.WriteCSV(w, in) }
+
+// ParseFD reads one FD in "A,B->C" form against a schema.
+func ParseFD(s *Schema, spec string) (FD, error) { return fd.Parse(s, spec) }
+
+// ParseFDs reads a semicolon- or newline-separated FD list; "A->B,C"
+// expands to one FD per RHS attribute.
+func ParseFDs(s *Schema, specs string) (FDSet, error) { return fd.ParseSet(s, specs) }
+
+// Options tunes the repair entry points.
+type Options struct {
+	// Weights prices LHS extensions. Nil selects DistinctCountWeights on
+	// the input instance — the paper's experimental choice.
+	Weights WeightFunc
+	// BestFirst disables the A* heuristic (mainly for comparison runs).
+	BestFirst bool
+	// Seed drives the randomized data-repair order; fixed seeds give
+	// reproducible repairs.
+	Seed int64
+	// MaxVisited aborts runaway searches (0 = a large default).
+	MaxVisited int
+}
+
+func (o Options) config(in *Instance) repair.Config {
+	w := o.Weights
+	if w == nil {
+		w = weights.NewDistinctCount(in)
+	}
+	return repair.Config{
+		Weights: w,
+		Search:  search.Options{Heuristic: !o.BestFirst, MaxVisited: o.MaxVisited},
+		Seed:    o.Seed,
+	}
+}
+
+// AttrCountWeights prices an extension by its number of attributes.
+func AttrCountWeights() WeightFunc { return weights.AttrCount{} }
+
+// DistinctCountWeights prices an extension by the number of distinct
+// values it takes in the instance (informative attributes cost more).
+func DistinctCountWeights(in *Instance) WeightFunc { return weights.NewDistinctCount(in) }
+
+// EntropyWeights prices an extension by the entropy of its projection.
+func EntropyWeights(in *Instance) WeightFunc { return weights.NewEntropy(in) }
+
+// RepairWithBudget implements the paper's Algorithm 1 for one trust level:
+// it returns the repair (Σ′, I′) whose FD set is closest to sigma among
+// all relaxations reachable with at most tau cell changes, or nil if no
+// relaxation fits the budget. I′ satisfies Σ′ and differs from the input
+// in at most tau cells.
+func RepairWithBudget(in *Instance, sigma FDSet, tau int, opt Options) (*Repair, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("relatrust: negative cell-change budget %d", tau)
+	}
+	return repair.Run(in, sigma, tau, opt.config(in))
+}
+
+// SuggestRepairs implements the paper's Algorithm 6 across the entire
+// relative-trust spectrum: it returns one repair per distinct trust level,
+// ordered from "trust the FDs" (data-only repair, unchanged Σ) to "trust
+// the data" (FD-only repair, unchanged I). The results are Pareto-optimal
+// with respect to (FD distance, cell changes).
+func SuggestRepairs(in *Instance, sigma FDSet, opt Options) ([]*Repair, error) {
+	s, err := repair.NewSession(in, sigma, opt.config(in))
+	if err != nil {
+		return nil, err
+	}
+	return s.RunRange(0, s.DeltaPOriginal())
+}
+
+// SuggestRepairsInRange restricts SuggestRepairs to τ ∈ [tauLow, tauHigh].
+func SuggestRepairsInRange(in *Instance, sigma FDSet, tauLow, tauHigh int, opt Options) ([]*Repair, error) {
+	s, err := repair.NewSession(in, sigma, opt.config(in))
+	if err != nil {
+		return nil, err
+	}
+	return s.RunRange(tauLow, tauHigh)
+}
+
+// MaxBudget returns δP(Σ, I): the cell-change budget beyond which the data
+// can always be repaired without touching Σ. It is the natural upper end
+// of the τ range and the denominator of relative trust τr = τ/δP.
+func MaxBudget(in *Instance, sigma FDSet, opt Options) (int, error) {
+	s, err := repair.NewSession(in, sigma, opt.config(in))
+	if err != nil {
+		return 0, err
+	}
+	return s.DeltaPOriginal(), nil
+}
+
+// SampleRepairs draws up to k distinct data repairs for a fixed FD set
+// (no FD modification), exposing the different minimal ways the
+// violations can be resolved; see the paper's reference [3].
+func SampleRepairs(in *Instance, sigma FDSet, k int, opt Options) ([]*repair.DataRepair, error) {
+	return repair.SampleDataRepairs(in, sigma, k, opt.Seed, 0)
+}
+
+// RepairDataOnly materializes a data repair for a fixed FD set without
+// touching the FDs (the τ = δP end of the spectrum, as classic cleaning
+// systems do). Cells in pinned are hard constraints that must not change;
+// pass nil to allow any cell.
+func RepairDataOnly(in *Instance, sigma FDSet, pinned map[CellRef]bool, opt Options) (*repair.DataRepair, error) {
+	if pinned == nil {
+		return repair.RepairData(in, sigma, nil, opt.Seed)
+	}
+	return repair.RepairDataPinned(in, sigma, pinned, opt.Seed)
+}
+
+// Violations reports up to max violating tuple pairs (0 = all; beware of
+// quadratic blowup on badly violated instances).
+func Violations(in *Instance, sigma FDSet, max int) []fd.Violation {
+	return sigma.Violations(in, max)
+}
+
+// Satisfies reports whether the instance satisfies every FD of sigma.
+func Satisfies(in *Instance, sigma FDSet) bool { return sigma.SatisfiedBy(in) }

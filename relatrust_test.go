@@ -1,0 +1,142 @@
+package relatrust_test
+
+import (
+	"strings"
+	"testing"
+
+	"relatrust"
+)
+
+const zipCSV = `City,ZIP
+A,1
+A,2
+B,3
+`
+
+func load(t *testing.T) (*relatrust.Instance, relatrust.FDSet) {
+	t.Helper()
+	in, err := relatrust.ReadCSV(strings.NewReader(zipCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := relatrust.ParseFDs(in.Schema, "City->ZIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, sigma
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	in, sigma := load(t)
+	if relatrust.Satisfies(in, sigma) {
+		t.Fatal("fixture should violate the FD")
+	}
+	if got := len(relatrust.Violations(in, sigma, 0)); got != 1 {
+		t.Fatalf("violations = %d, want 1", got)
+	}
+	dp, err := relatrust.MaxBudget(in, sigma, relatrust.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp != 1 {
+		t.Fatalf("MaxBudget = %d, want 1 (one cover tuple × α=1)", dp)
+	}
+
+	repairs, err := relatrust.SuggestRepairs(in, sigma, relatrust.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) == 0 {
+		t.Fatal("no repairs suggested")
+	}
+	for _, r := range repairs {
+		if !relatrust.Satisfies(r.Data.Instance, r.Sigma) {
+			t.Errorf("repair %v inconsistent", r)
+		}
+	}
+	first := repairs[0]
+	if first.FDCost != 0 || first.Data.NumChanges() != 1 {
+		t.Errorf("first repair should be the pure data repair (1 change), got cost=%v changes=%d",
+			first.FDCost, first.Data.NumChanges())
+	}
+}
+
+func TestFacadeRepairWithBudget(t *testing.T) {
+	in, sigma := load(t)
+	// The two-attribute schema offers no attribute to append (City is the
+	// LHS, ZIP the RHS), so τ=0 is infeasible: the paper's (φ, φ).
+	r, err := relatrust.RepairWithBudget(in, sigma, 0, relatrust.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != nil {
+		t.Fatalf("τ=0 on an unextendable FD must return nil, got %v", r)
+	}
+	r, err = relatrust.RepairWithBudget(in, sigma, 1, relatrust.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || r.Data.NumChanges() > 1 {
+		t.Fatalf("τ=1 repair broken: %+v", r)
+	}
+	if _, err := relatrust.RepairWithBudget(in, sigma, -1, relatrust.Options{}); err == nil {
+		t.Error("negative τ must error")
+	}
+}
+
+func TestFacadeRangeAndWeights(t *testing.T) {
+	in, sigma := load(t)
+	for _, w := range []relatrust.WeightFunc{
+		relatrust.AttrCountWeights(),
+		relatrust.DistinctCountWeights(in),
+		relatrust.EntropyWeights(in),
+	} {
+		rs, err := relatrust.SuggestRepairsInRange(in, sigma, 0, 1, relatrust.Options{Weights: w})
+		if err != nil {
+			t.Fatalf("%T: %v", w, err)
+		}
+		if len(rs) == 0 {
+			t.Fatalf("%T: no repairs", w)
+		}
+	}
+}
+
+func TestFacadeBestFirstOption(t *testing.T) {
+	in, sigma := load(t)
+	a, err := relatrust.RepairWithBudget(in, sigma, 1, relatrust.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := relatrust.RepairWithBudget(in, sigma, 1, relatrust.Options{BestFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FDCost != b.FDCost {
+		t.Errorf("A* and best-first disagree on the optimum: %v vs %v", a.FDCost, b.FDCost)
+	}
+}
+
+func TestFacadeSchemaConstruction(t *testing.T) {
+	s, err := relatrust.NewSchema("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := relatrust.NewInstance(s)
+	if err := in.AppendConsts("1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := relatrust.ParseFD(s, "A->B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relatrust.Satisfies(in, relatrust.FDSet{f}) {
+		t.Error("single tuple always satisfies")
+	}
+	var sb strings.Builder
+	if err := relatrust.WriteCSV(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "A,B\n") {
+		t.Errorf("CSV output %q", sb.String())
+	}
+}
