@@ -21,6 +21,7 @@ import (
 	"relatrust/internal/experiments"
 	"relatrust/internal/fd"
 	"relatrust/internal/gen"
+	"relatrust/internal/relation"
 	"relatrust/internal/repair"
 	"relatrust/internal/search"
 	"relatrust/internal/weights"
@@ -199,7 +200,8 @@ func benchWorkload(b *testing.B, n int) (*relatrust.Instance, fd.Set) {
 
 // BenchmarkConflictAnalysis measures building the violation clusters.
 func BenchmarkConflictAnalysis(b *testing.B) {
-	in, sigma := benchWorkload(b, 5000)
+	in, sigma := benchWorkload(b, 10000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conflict.New(in, sigma)
@@ -209,11 +211,32 @@ func BenchmarkConflictAnalysis(b *testing.B) {
 // BenchmarkCoverSize measures one vertex-cover query (the goal test the
 // search runs per visited state).
 func BenchmarkCoverSize(b *testing.B) {
-	in, sigma := benchWorkload(b, 5000)
+	in, sigma := benchWorkload(b, 10000)
 	a := conflict.New(in, sigma)
+	a.CoverSize(nil) // warm the query scratch so steady state is measured
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.CoverSize(nil)
+	}
+}
+
+// BenchmarkCoverVector measures the cover query for a non-trivial LHS
+// extension vector — the exact shape of the per-state goal test A*-Repair
+// issues up to MaxVisited times. Steady-state queries on a prebuilt
+// Analysis must not allocate.
+func BenchmarkCoverVector(b *testing.B) {
+	in, sigma := benchWorkload(b, 10000)
+	a := conflict.New(in, sigma)
+	ext := make([]relation.AttrSet, len(sigma))
+	for i, f := range sigma {
+		ext[i] = f.LHS.Add(8 + i) // one appended attribute per FD, as mid-search states have
+	}
+	a.CoverSize(ext) // warm the query scratch so steady state is measured
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.CoverSize(ext)
 	}
 }
 

@@ -1,0 +1,3 @@
+module relatrust
+
+go 1.22

@@ -203,16 +203,25 @@ func materialize(in *relation.Instance, set Set, cover, singles []int32, seed in
 }
 
 // cfdIndex is the pattern-aware clean index: per CFD, the RHS value of
-// each LHS key among clean matching tuples.
+// each LHS projection code among clean matching tuples. Projections are
+// interned by per-CFD ProjCoders over shared dictionaries instead of
+// building string keys.
 type cfdIndex struct {
-	set Set
-	idx []map[string]relation.Value
+	set    Set
+	coders []*relation.ProjCoder
+	idx    []map[int32]relation.Value
 }
 
 func newCFDIndex(in *relation.Instance, set Set, dirty map[int32]bool) *cfdIndex {
-	ci := &cfdIndex{set: set, idx: make([]map[string]relation.Value, len(set))}
-	for i := range set {
-		ci.idx[i] = make(map[string]relation.Value, in.N())
+	dicts := relation.NewDicts(in.Schema.Width())
+	ci := &cfdIndex{
+		set:    set,
+		coders: make([]*relation.ProjCoder, len(set)),
+		idx:    make([]map[int32]relation.Value, len(set)),
+	}
+	for i, c := range set {
+		ci.coders[i] = relation.NewProjCoder(c.Embedded.LHS, dicts)
+		ci.idx[i] = make(map[int32]relation.Value, in.N())
 	}
 	for t := 0; t < in.N(); t++ {
 		if dirty[int32(t)] {
@@ -226,7 +235,7 @@ func newCFDIndex(in *relation.Instance, set Set, dirty map[int32]bool) *cfdIndex
 func (ci *cfdIndex) add(t relation.Tuple) {
 	for i, c := range ci.set {
 		if c.Matches(t) {
-			ci.idx[i][keyOf(t, c.Embedded.LHS)] = t[c.Embedded.RHS]
+			ci.idx[i][ci.coders[i].Code(t)] = t[c.Embedded.RHS]
 		}
 	}
 }
@@ -242,8 +251,10 @@ func (ci *cfdIndex) violation(tc relation.Tuple) (int, relation.Value, bool) {
 		if c.RHSPattern != "" && (rhs.IsVar() || rhs.Str() != c.RHSPattern) {
 			return i, relation.Const(c.RHSPattern), true
 		}
-		if v, ok := ci.idx[i][keyOf(tc, c.Embedded.LHS)]; ok && !rhs.Equal(v) {
-			return i, v, true
+		if k, ok := ci.coders[i].Lookup(tc); ok {
+			if v, ok := ci.idx[i][k]; ok && !rhs.Equal(v) {
+				return i, v, true
+			}
 		}
 	}
 	return 0, relation.Value{}, false
@@ -271,15 +282,4 @@ func (ci *cfdIndex) findAssignment(t relation.Tuple, fixed relation.AttrSet, vg 
 		fixed = fixed.Add(a)
 	}
 	return nil, false
-}
-
-// keyOf mirrors relation.Instance.Project for a standalone tuple.
-func keyOf(t relation.Tuple, X relation.AttrSet) string {
-	var b strings.Builder
-	X.ForEach(func(a int) bool {
-		b.WriteString(t[a].Key())
-		b.WriteByte(0x1f)
-		return true
-	})
-	return b.String()
 }

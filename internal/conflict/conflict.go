@@ -55,24 +55,15 @@ type Analysis struct {
 	// the marked tuples (see CoverAvoiding).
 	protected func(int32) bool
 
-	// scratch for matching and cover runs (epoch-versioned so no
-	// clearing pass is needed between queries).
+	// part groups tuples by dictionary codes; together with the
+	// epoch-versioned scratch below it makes steady-state cover queries
+	// allocation-free (no strings, no maps, no clearing passes).
+	part         *relation.Partitioner
 	matched      []int
 	epoch        int
-	flatScratch  []flatEntry
+	seedScratch  []int32
 	coverScratch []int32
-	groupScratch map[string]*groupBuf
-}
-
-type flatEntry struct {
-	tuple int32
-	sub   int32
-}
-
-type groupBuf struct {
-	subs   []([]int32) // subgroup -> members
-	subIdx map[string]int
-	order  int
+	matchedList  []int32 // endpoints of the pass-1 matching, in pair order
 }
 
 // New builds the analysis in O(|Σ|·n) expected time.
@@ -91,44 +82,64 @@ func NewFiltered(in *relation.Instance, sigma fd.Set, filters []func(relation.Tu
 		Sigma:    sigma,
 		clusters: make([][][]int32, len(sigma)),
 		matched:  make([]int, in.N()),
+		part:     relation.NewPartitioner(in),
 	}
+	seed := make([]int32, 0, in.N())
 	for fi, f := range sigma {
 		var accept func(relation.Tuple) bool
 		if filters != nil {
 			accept = filters[fi]
 		}
-		groups := make(map[string][]int32, in.N())
-		order := make([]string, 0, in.N())
+		seed = seed[:0]
 		for t := 0; t < in.N(); t++ {
 			if accept != nil && !accept(in.Tuples[t]) {
 				continue
 			}
-			key := in.Project(t, f.LHS)
-			if _, seen := groups[key]; !seen {
-				order = append(order, key)
-			}
-			groups[key] = append(groups[key], int32(t))
+			seed = append(seed, int32(t))
 		}
-		for _, key := range order {
-			g := groups[key]
-			if len(g) < 2 {
+		a.part.Begin(seed)
+		a.part.RefineSet(f.LHS)
+		pt := a.part.Partition()
+		rhs, _ := in.Codes(f.RHS)
+		// Keep groups of ≥2 tuples with ≥2 distinct RHS codes. Two passes:
+		// the first sizes one arena exactly, so the kept cluster slices
+		// share a backing array that never reallocates from under them.
+		kept, total := 0, 0
+		for gi := 0; gi < pt.NumGroups(); gi++ {
+			g := pt.Group(gi)
+			if len(g) >= 2 && mixedRHS(g, rhs) {
+				kept++
+				total += len(g)
+			}
+		}
+		if kept == 0 {
+			continue
+		}
+		arena := make([]int32, 0, total)
+		cl := make([][]int32, 0, kept)
+		for gi := 0; gi < pt.NumGroups(); gi++ {
+			g := pt.Group(gi)
+			if len(g) < 2 || !mixedRHS(g, rhs) {
 				continue
 			}
-			// Keep the group only if it has ≥2 distinct RHS values.
-			first := in.Tuples[g[0]][f.RHS]
-			mixed := false
-			for _, t := range g[1:] {
-				if !in.Tuples[t][f.RHS].Equal(first) {
-					mixed = true
-					break
-				}
-			}
-			if mixed {
-				a.clusters[fi] = append(a.clusters[fi], g)
-			}
+			start := len(arena)
+			arena = append(arena, g...)
+			cl = append(cl, arena[start:len(arena):len(arena)])
 		}
+		a.clusters[fi] = cl
 	}
 	return a
+}
+
+// mixedRHS reports whether the group spans ≥2 distinct RHS codes.
+func mixedRHS(g []int32, rhs []int32) bool {
+	first := rhs[g[0]]
+	for _, t := range g[1:] {
+		if rhs[t] != first {
+			return true
+		}
+	}
+	return false
 }
 
 // N returns the number of tuples in the analyzed instance.
@@ -137,15 +148,19 @@ func (a *Analysis) N() int { return a.In.N() }
 // ViolatingTuples returns how many tuples participate in at least one
 // violating cluster of the base FD set; useful for sizing reports.
 func (a *Analysis) ViolatingTuples() int {
-	seen := make(map[int32]bool)
+	seen := make([]bool, a.In.N())
+	count := 0
 	for _, cl := range a.clusters {
 		for _, g := range cl {
 			for _, t := range g {
-				seen[t] = true
+				if !seen[t] {
+					seen[t] = true
+					count++
+				}
 			}
 		}
 	}
-	return len(seen)
+	return count
 }
 
 // CoverSize returns |C2opt(Σ′, I)| where Σ′ extends the base set by ext
@@ -192,13 +207,13 @@ func (a *Analysis) CoverAvoiding(ext []relation.AttrSet, protected func(int32) b
 func (a *Analysis) cover(ext []relation.AttrSet) []int32 {
 	matchedPairs := 0
 	a.epoch++
+	a.matchedList = a.matchedList[:0]
 	for fi, f := range a.Sigma {
 		y := a.extOf(ext, fi)
 		for _, g := range a.clusters[fi] {
 			matchedPairs += a.matchCluster(g, f.RHS, y)
 		}
 	}
-	matchEpoch := a.epoch
 
 	a.epoch++
 	a.coverScratch = a.coverScratch[:0]
@@ -211,16 +226,14 @@ func (a *Analysis) cover(ext []relation.AttrSet) []int32 {
 	if len(a.coverScratch) <= 2*matchedPairs {
 		return a.coverScratch
 	}
-	// Fallback preserving the provable factor 2: both endpoints of M.
-	// (Not expected in practice; kept for adversarial cluster overlap.)
-	out := a.coverScratch[:0]
-	for t, e := range a.matched {
-		if e == matchEpoch {
-			out = append(out, int32(t))
-		}
-	}
-	a.coverScratch = out
-	return out
+	// Fallback preserving the provable factor 2: both endpoints of M,
+	// recorded by pass 1 in matchedList. (Reading the pass-1 epoch marks
+	// back out of a.matched here would be wrong — pass 2 overwrites them
+	// with its own epoch, which made this fallback return a subset that
+	// is not a vertex cover. Triggered only under adversarial cluster
+	// overlap.)
+	a.coverScratch = append(a.coverScratch[:0], a.matchedList...)
+	return a.coverScratch
 }
 
 // extOf returns the extension attributes of FD fi beyond its own LHS.
@@ -237,6 +250,7 @@ func (a *Analysis) extOf(ext []relation.AttrSet, fi int) relation.AttrSet {
 // package's — which makes it the right quantity for feasibility floors.
 func (a *Analysis) MatchingSize(ext []relation.AttrSet) int {
 	a.epoch++
+	a.matchedList = a.matchedList[:0]
 	pairs := 0
 	for fi, f := range a.Sigma {
 		y := a.extOf(ext, fi)
@@ -262,72 +276,59 @@ func (a *Analysis) PermanentMatching() int {
 	return a.MatchingSize(ext)
 }
 
-// buildGroups refines one cluster by the extension attributes y, skipping
-// tuples already marked in the current epoch, and returns the refined
-// groups in deterministic encounter order.
-func (a *Analysis) buildGroups(g []int32, rhs int, y relation.AttrSet) []string {
-	if a.groupScratch == nil {
-		a.groupScratch = make(map[string]*groupBuf)
-	}
-	groups := a.groupScratch
-	for k := range groups {
-		delete(groups, k)
-	}
-	orderKeys := make([]string, 0, 4)
+// refineGroups refines one cluster by the extension attributes y, skipping
+// tuples already marked in the current epoch. Groups come back in
+// deterministic (refinement encounter) order; within one cluster they are
+// disjoint, so processing order never affects which tuples end up matched
+// or covered. The result aliases the partitioner's scratch and stays valid
+// across Split calls.
+func (a *Analysis) refineGroups(g []int32, y relation.AttrSet) relation.Partition {
+	seed := a.seedScratch[:0]
 	for _, t := range g {
-		if a.matched[t] == a.epoch {
-			continue // already matched/covered through another FD or cluster
+		if a.matched[t] != a.epoch {
+			seed = append(seed, t)
 		}
-		var key string
-		if !y.IsEmpty() {
-			key = a.In.Project(int(t), y)
-		}
-		gb, ok := groups[key]
-		if !ok {
-			gb = &groupBuf{subIdx: make(map[string]int, 2)}
-			groups[key] = gb
-			orderKeys = append(orderKeys, key)
-		}
-		rkey := a.In.Tuples[t][rhs].Key()
-		si, ok := gb.subIdx[rkey]
-		if !ok {
-			si = len(gb.subs)
-			gb.subIdx[rkey] = si
-			gb.subs = append(gb.subs, nil)
-		}
-		gb.subs[si] = append(gb.subs[si], t)
 	}
-	return orderKeys
+	a.seedScratch = seed
+	a.part.Begin(seed)
+	a.part.RefineSet(y)
+	return a.part.Partition()
 }
 
 // matchCluster greedily matches unmatched tuples across RHS subgroups of
 // each refined group and returns the number of pairs matched.
 func (a *Analysis) matchCluster(g []int32, rhs int, y relation.AttrSet) int {
-	orderKeys := a.buildGroups(g, rhs, y)
+	pt := a.refineGroups(g, y)
 	pairs := 0
-	for _, key := range orderKeys {
-		gb := a.groupScratch[key]
-		if len(gb.subs) < 2 {
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		grp := pt.Group(gi)
+		if len(grp) < 2 {
 			continue
 		}
-		flat := a.flatScratch[:0]
-		for si, sub := range gb.subs {
-			for _, t := range sub {
-				flat = append(flat, flatEntry{tuple: t, sub: int32(si)})
-			}
+		sp := a.part.Split(grp, rhs)
+		if sp.NumGroups() < 2 {
+			continue
 		}
-		a.flatScratch = flat
 		// Complete multipartite matching: pair the lowest-subgroup entry
 		// with the highest-subgroup entry until the remainder collapses
-		// into a single subgroup (entries are grouped by subgroup index
-		// in ascending order already).
+		// into a single subgroup (the flat partition layout is grouped by
+		// subgroup already).
+		flat, offs := sp.Tuples, sp.Offsets
 		i, j := 0, len(flat)-1
-		for i < j && flat[i].sub != flat[j].sub {
-			a.matched[flat[i].tuple] = a.epoch
-			a.matched[flat[j].tuple] = a.epoch
+		sgi, sgj := 0, sp.NumGroups()-1
+		for i < j && sgi != sgj {
+			a.matched[flat[i]] = a.epoch
+			a.matched[flat[j]] = a.epoch
+			a.matchedList = append(a.matchedList, flat[i], flat[j])
 			pairs++
 			i++
 			j--
+			for int32(i) >= offs[sgi+1] {
+				sgi++
+			}
+			for int32(j) < offs[sgj] {
+				sgj--
+			}
 		}
 	}
 	return pairs
@@ -341,39 +342,44 @@ func (a *Analysis) matchCluster(g []int32, rhs int, y relation.AttrSet) int {
 // order), so pinned tuples stay out of the cover whenever a valid cover
 // allows it.
 func (a *Analysis) coverCluster(g []int32, rhs int, y relation.AttrSet, protected func(int32) bool) {
-	orderKeys := a.buildGroups(g, rhs, y)
-	for _, key := range orderKeys {
-		gb := a.groupScratch[key]
-		if len(gb.subs) < 2 {
+	pt := a.refineGroups(g, y)
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		grp := pt.Group(gi)
+		if len(grp) < 2 {
+			continue
+		}
+		sp := a.part.Split(grp, rhs)
+		if sp.NumGroups() < 2 {
 			continue
 		}
 		exempt := 0
 		if protected == nil {
-			for si := 1; si < len(gb.subs); si++ {
-				if len(gb.subs[si]) > len(gb.subs[exempt]) {
+			for si := 1; si < sp.NumGroups(); si++ {
+				if len(sp.Group(si)) > len(sp.Group(exempt)) {
 					exempt = si
 				}
 			}
 		} else {
 			bestProt := -1
-			for si, sub := range gb.subs {
+			for si := 0; si < sp.NumGroups(); si++ {
+				sub := sp.Group(si)
 				prot := 0
 				for _, t := range sub {
 					if protected(t) {
 						prot++
 					}
 				}
-				if prot > bestProt || (prot == bestProt && len(sub) > len(gb.subs[exempt])) {
+				if prot > bestProt || (prot == bestProt && len(sub) > len(sp.Group(exempt))) {
 					bestProt = prot
 					exempt = si
 				}
 			}
 		}
-		for si, sub := range gb.subs {
+		for si := 0; si < sp.NumGroups(); si++ {
 			if si == exempt {
 				continue
 			}
-			for _, t := range sub {
+			for _, t := range sp.Group(si) {
 				a.matched[t] = a.epoch
 				a.coverScratch = append(a.coverScratch, t)
 			}
@@ -409,22 +415,21 @@ func (a *Analysis) MatchingEdgeSample(cap int) []Edge {
 
 // matchClusterEdges is matchCluster collecting the matched pairs.
 func (a *Analysis) matchClusterEdges(g []int32, rhs int, out []Edge, cap int) []Edge {
-	orderKeys := a.buildGroups(g, rhs, 0)
-	for _, key := range orderKeys {
-		gb := a.groupScratch[key]
-		if len(gb.subs) < 2 {
+	pt := a.refineGroups(g, 0)
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		grp := pt.Group(gi)
+		if len(grp) < 2 {
 			continue
 		}
-		flat := a.flatScratch[:0]
-		for si, sub := range gb.subs {
-			for _, t := range sub {
-				flat = append(flat, flatEntry{tuple: t, sub: int32(si)})
-			}
+		sp := a.part.Split(grp, rhs)
+		if sp.NumGroups() < 2 {
+			continue
 		}
-		a.flatScratch = flat
+		flat, offs := sp.Tuples, sp.Offsets
 		i, j := 0, len(flat)-1
-		for i < j && flat[i].sub != flat[j].sub {
-			t1, t2 := flat[i].tuple, flat[j].tuple
+		sgi, sgj := 0, sp.NumGroups()-1
+		for i < j && sgi != sgj {
+			t1, t2 := flat[i], flat[j]
 			a.matched[t1] = a.epoch
 			a.matched[t2] = a.epoch
 			if t1 > t2 {
@@ -436,6 +441,12 @@ func (a *Analysis) matchClusterEdges(g []int32, rhs int, out []Edge, cap int) []
 			}
 			i++
 			j--
+			for int32(i) >= offs[sgi+1] {
+				sgi++
+			}
+			for int32(j) < offs[sgj] {
+				sgj--
+			}
 		}
 	}
 	return out
@@ -507,19 +518,8 @@ func (a *Analysis) DiffSets(capPerCluster int) []DiffSet {
 // difference set look cheap. Remaining combinations follow round-robin
 // until the cap binds.
 func (a *Analysis) sampleClusterEdges(g []int32, rhs int, cap int, emit func(Edge)) {
-	subs := make([][]int32, 0, 4)
-	subIdx := make(map[string]int, 4)
-	for _, t := range g {
-		rkey := a.In.Tuples[t][rhs].Key()
-		si, ok := subIdx[rkey]
-		if !ok {
-			si = len(subs)
-			subIdx[rkey] = si
-			subs = append(subs, nil)
-		}
-		subs[si] = append(subs[si], t)
-	}
-	if len(subs) < 2 {
+	sp := a.part.Split(g, rhs)
+	if sp.NumGroups() < 2 {
 		return
 	}
 	emitted := 0
@@ -532,17 +532,13 @@ func (a *Analysis) sampleClusterEdges(g []int32, rhs int, cap int, emit func(Edg
 		return cap > 0 && emitted >= cap
 	}
 	// Phase 1: a maximal matching via the two-pointer sweep over the
-	// subgroup-ordered flattening (same construction as matchCluster).
-	flat := make([]flatEntry, 0, len(g))
-	for si, sub := range subs {
-		for _, t := range sub {
-			flat = append(flat, flatEntry{tuple: t, sub: int32(si)})
-		}
-	}
+	// subgroup-ordered flat partition (same construction as matchCluster).
+	flat, offs := sp.Tuples, sp.Offsets
 	inMatching := make(map[[2]int32]bool)
 	i, j := 0, len(flat)-1
-	for i < j && flat[i].sub != flat[j].sub {
-		t1, t2 := flat[i].tuple, flat[j].tuple
+	sgi, sgj := 0, sp.NumGroups()-1
+	for i < j && sgi != sgj {
+		t1, t2 := flat[i], flat[j]
 		if t1 > t2 {
 			t1, t2 = t2, t1
 		}
@@ -552,20 +548,27 @@ func (a *Analysis) sampleClusterEdges(g []int32, rhs int, cap int, emit func(Edg
 		}
 		i++
 		j--
+		for int32(i) >= offs[sgi+1] {
+			sgi++
+		}
+		for int32(j) < offs[sgj] {
+			sgj--
+		}
 	}
 	// Phase 2: remaining cross pairs in deterministic round-robin order,
 	// skipping the matched pairs already emitted.
 	for round := 0; ; round++ {
 		any := false
-		for x := 0; x < len(subs); x++ {
-			for y := x + 1; y < len(subs); y++ {
-				ai := round % len(subs[x])
-				bj := round / len(subs[x])
-				if bj >= len(subs[y]) {
+		for x := 0; x < sp.NumGroups(); x++ {
+			for y := x + 1; y < sp.NumGroups(); y++ {
+				sx, sy := sp.Group(x), sp.Group(y)
+				ai := round % len(sx)
+				bj := round / len(sx)
+				if bj >= len(sy) {
 					continue
 				}
 				any = true
-				t1, t2 := subs[x][ai], subs[y][bj]
+				t1, t2 := sx[ai], sy[bj]
 				if t1 > t2 {
 					t1, t2 = t2, t1
 				}
@@ -591,12 +594,10 @@ func (a *Analysis) EdgeCountExact() int64 {
 	var total int64
 	for fi, f := range a.Sigma {
 		for _, g := range a.clusters[fi] {
-			counts := make(map[string]int64, 4)
-			for _, t := range g {
-				counts[a.In.Tuples[t][f.RHS].Key()]++
-			}
+			sp := a.part.Split(g, f.RHS)
 			var sum, sq int64
-			for _, c := range counts {
+			for si := 0; si < sp.NumGroups(); si++ {
+				c := int64(len(sp.Group(si)))
 				sum += c
 				sq += c * c
 			}

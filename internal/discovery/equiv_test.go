@@ -1,0 +1,146 @@
+package discovery
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// randDupInstance builds a duplicate-heavy instance with variables — the
+// shapes code-based partitions must group identically to string keys.
+func randDupInstance(rng *rand.Rand) *relation.Instance {
+	width := 3 + rng.Intn(3)
+	names := make([]string, width)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	in := relation.NewInstance(relation.MustSchema(names...))
+	var vg relation.VarGen
+	shared := vg.Fresh()
+	n := 2 + rng.Intn(35)
+	for t := 0; t < n; t++ {
+		tp := make(relation.Tuple, width)
+		for a := range tp {
+			switch rng.Intn(12) {
+			case 0:
+				tp[a] = shared
+			case 1:
+				tp[a] = vg.Fresh()
+			default:
+				tp[a] = relation.Const(string(rune('a' + rng.Intn(3))))
+			}
+		}
+		_ = in.Append(tp)
+	}
+	return in
+}
+
+// refStripped is the seed's string-keyed stripped partition.
+func refStripped(in *relation.Instance, x relation.AttrSet) (classes [][]int32, errSum int) {
+	groups := make(map[string][]int32, in.N())
+	for t := 0; t < in.N(); t++ {
+		k := in.Project(t, x)
+		groups[k] = append(groups[k], int32(t))
+	}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			classes = append(classes, g)
+			errSum += len(g) - 1
+		}
+	}
+	return classes, errSum
+}
+
+func canonClasses(classes [][]int32) [][]int32 {
+	out := append([][]int32(nil), classes...)
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// TestQuickStrippedPartitionsMatchStringKeys: partitionBySet and the
+// incremental refineStripped both equal the string-keyed partition, class
+// for class.
+func TestQuickStrippedPartitionsMatchStringKeys(t *testing.T) {
+	f := func(seed int64, setRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randDupInstance(rng)
+		x := relation.AttrSet(setRaw) & relation.FullSet(in.Schema.Width())
+		if x.IsEmpty() {
+			x = relation.NewAttrSet(0)
+		}
+		p := relation.NewPartitioner(in)
+		got := partitionBySet(p, x)
+		wantClasses, wantErr := refStripped(in, x)
+		if got.err != wantErr || len(got.classes) != len(wantClasses) {
+			return false
+		}
+		gc, wc := canonClasses(got.classes), canonClasses(wantClasses)
+		for i := range gc {
+			if len(gc[i]) != len(wc[i]) {
+				return false
+			}
+			for j := range gc[i] {
+				if gc[i][j] != wc[i][j] {
+					return false
+				}
+			}
+		}
+		// Incremental refinement: π(X∪{a}) from π(X).
+		a := rng.Intn(in.Schema.Width())
+		if x.Contains(a) {
+			return true
+		}
+		inc := refineStripped(p, got, a)
+		_, wantErrXA := refStripped(in, x.Add(a))
+		return inc.err == wantErrXA
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickErrorMatchesStringReference: the g3-style Error equals the
+// seed's nested string-map computation.
+func TestQuickErrorMatchesStringReference(t *testing.T) {
+	refError := func(in *relation.Instance, f fd.FD) int {
+		groups := make(map[string]map[string]int)
+		for t := 0; t < in.N(); t++ {
+			k := in.Project(t, f.LHS)
+			if groups[k] == nil {
+				groups[k] = map[string]int{}
+			}
+			groups[k][in.Tuples[t][f.RHS].Key()]++
+		}
+		errs := 0
+		for _, sub := range groups {
+			total, maxc := 0, 0
+			for _, c := range sub {
+				total += c
+				if c > maxc {
+					maxc = c
+				}
+			}
+			errs += total - maxc
+		}
+		return errs
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randDupInstance(rng)
+		width := in.Schema.Width()
+		rhs := rng.Intn(width)
+		lhs := relation.NewAttrSet((rhs + 1) % width)
+		if width > 2 && rng.Intn(2) == 0 {
+			lhs = lhs.Add((rhs + 2) % width)
+		}
+		fdep := fd.MustNew(lhs, rhs)
+		return Error(in, fdep) == refError(in, fdep)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

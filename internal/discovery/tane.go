@@ -40,6 +40,8 @@ func (o Options) withDefaults(width int) Options {
 }
 
 // stripped is a stripped partition: equivalence classes of size ≥ 2.
+// Classes appear in refinement encounter order (deterministic) and share
+// one backing arena per partition.
 type stripped struct {
 	classes [][]int32
 	err     int // Σ(|class|−1): tuples that would need to merge targets
@@ -51,11 +53,12 @@ type stripped struct {
 func Discover(in *relation.Instance, opt Options) fd.Set {
 	opt = opt.withDefaults(in.Schema.Width())
 	attrs := opt.Attrs.Attrs()
+	p := relation.NewPartitioner(in)
 
 	// Level 1 partitions.
 	parts := make(map[relation.AttrSet]stripped, len(attrs)*4)
 	for _, a := range attrs {
-		parts[relation.NewAttrSet(a)] = partitionByAttr(in, a)
+		parts[relation.NewAttrSet(a)] = partitionBySet(p, relation.NewAttrSet(a))
 	}
 
 	var out fd.Set
@@ -73,7 +76,7 @@ func Discover(in *relation.Instance, opt Options) fd.Set {
 		for _, x := range level {
 			px, ok := parts[x]
 			if !ok {
-				px = partitionBySet(in, x)
+				px = partitionBySet(p, x)
 				parts[x] = px
 			}
 			for _, a := range attrs {
@@ -86,7 +89,9 @@ func Discover(in *relation.Instance, opt Options) fd.Set {
 				xa := x.Add(a)
 				pxa, ok := parts[xa]
 				if !ok {
-					pxa = partitionBySet(in, xa)
+					// TANE's key optimization: π(X∪{A}) refines the already
+					// computed π(X) instead of repartitioning the instance.
+					pxa = refineStripped(p, px, a)
 					parts[xa] = pxa
 				}
 				if px.err == pxa.err { // X → A holds exactly
@@ -126,8 +131,9 @@ func Discover(in *relation.Instance, opt Options) fd.Set {
 // Holds reports whether X → A holds exactly on the instance, via the
 // partition-error criterion.
 func Holds(in *relation.Instance, f fd.FD) bool {
-	px := partitionBySet(in, f.LHS)
-	pxa := partitionBySet(in, f.LHS.Add(f.RHS))
+	p := relation.NewPartitioner(in)
+	px := partitionBySet(p, f.LHS)
+	pxa := refineStripped(p, px, f.RHS)
 	return px.err == pxa.err
 }
 
@@ -135,48 +141,80 @@ func Holds(in *relation.Instance, f fd.FD) bool {
 // hold (the g3-style count used by approximate-FD work): for each X-class,
 // all tuples not in the class's plurality A-value.
 func Error(in *relation.Instance, f fd.FD) int {
-	groups := make(map[string]map[string]int)
-	for t := 0; t < in.N(); t++ {
-		k := in.Project(t, f.LHS)
-		sub, ok := groups[k]
-		if !ok {
-			sub = make(map[string]int, 2)
-			groups[k] = sub
-		}
-		sub[in.Tuples[t][f.RHS].Key()]++
-	}
+	p := relation.NewPartitioner(in)
+	p.BeginAll()
+	p.RefineSet(f.LHS)
+	pt := p.Partition()
 	errs := 0
-	for _, sub := range groups {
-		total, maxc := 0, 0
-		for _, c := range sub {
-			total += c
-			if c > maxc {
-				maxc = c
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		g := pt.Group(gi)
+		if len(g) < 2 {
+			continue
+		}
+		sp := p.Split(g, f.RHS)
+		maxc := 0
+		for si := 0; si < sp.NumGroups(); si++ {
+			if l := len(sp.Group(si)); l > maxc {
+				maxc = l
 			}
 		}
-		errs += total - maxc
+		errs += len(g) - maxc
 	}
 	return errs
 }
 
-func partitionByAttr(in *relation.Instance, a int) stripped {
-	return partitionBySet(in, relation.NewAttrSet(a))
-}
-
-func partitionBySet(in *relation.Instance, x relation.AttrSet) stripped {
-	groups := make(map[string][]int32, in.N())
-	for t := 0; t < in.N(); t++ {
-		k := in.Project(t, x)
-		groups[k] = append(groups[k], int32(t))
-	}
-	var p stripped
-	for _, g := range groups {
-		if len(g) >= 2 {
-			p.classes = append(p.classes, g)
-			p.err += len(g) - 1
+// partitionBySet computes the stripped partition of X by code-based
+// refinement from the whole tuple set.
+func partitionBySet(p *relation.Partitioner, x relation.AttrSet) stripped {
+	p.BeginAll()
+	p.RefineSet(x)
+	pt := p.Partition()
+	total := 0
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		if g := pt.Group(gi); len(g) >= 2 {
+			total += len(g)
 		}
 	}
-	return p
+	var s stripped
+	arena := make([]int32, 0, total)
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		g := pt.Group(gi)
+		if len(g) < 2 {
+			continue
+		}
+		start := len(arena)
+		arena = append(arena, g...)
+		s.classes = append(s.classes, arena[start:len(arena):len(arena)])
+		s.err += len(g) - 1
+	}
+	return s
+}
+
+// refineStripped computes the stripped partition of X∪{a} from the
+// stripped partition of X: each class splits by a's codes, and classes
+// collapsing to singletons drop out. Singleton classes of π(X) never
+// produce multi-tuple classes, so working on the stripped form is exact.
+func refineStripped(p *relation.Partitioner, parent stripped, a int) stripped {
+	total := 0
+	for _, c := range parent.classes {
+		total += len(c)
+	}
+	var s stripped
+	arena := make([]int32, 0, total)
+	for _, c := range parent.classes {
+		sp := p.Split(c, a)
+		for si := 0; si < sp.NumGroups(); si++ {
+			g := sp.Group(si)
+			if len(g) < 2 {
+				continue
+			}
+			start := len(arena)
+			arena = append(arena, g...)
+			s.classes = append(s.classes, arena[start:len(arena):len(arena)])
+			s.err += len(g) - 1
+		}
+	}
+	return s
 }
 
 func hasSubsetLHS(sets []relation.AttrSet, x relation.AttrSet) bool {

@@ -100,6 +100,9 @@ func (t *Tracker) Set(tuple, attr int, v relation.Value) (delta int64, err error
 		}
 	}
 	t.in.Tuples[tuple][attr] = v
+	// An in-place cell write invalidates any dictionary-code columns other
+	// consumers may have cached on the instance (see relation.Codes).
+	t.in.InvalidateCodes()
 	for _, st := range t.fds {
 		if st.f.LHS.Contains(attr) || st.f.RHS == attr {
 			st.addTuple(t.in, tuple)

@@ -7,6 +7,13 @@
 // variables can never be instantiated to equal values. V-instances let the
 // repair algorithms express "set this cell to anything new" without
 // committing to a concrete value.
+//
+// The package also provides the dictionary-encoding layer the hot paths of
+// the system are built on (codes.go): per-attribute int32 code columns on
+// Instance, an allocation-free code-indexed Partitioner for grouping tuples
+// by projection equality, and a ProjCoder interning projections of
+// standalone tuples. Consumers (conflict analysis, clean indexes, FD
+// discovery, weightings) group by codes instead of building string keys.
 package relation
 
 import (

@@ -54,9 +54,14 @@ func (t Tuple) DiffSet(u Tuple) AttrSet {
 // Instance is a (V-)instance of a schema: an ordered multiset of tuples.
 // Tuple order is stable and tuple indices are used as identities throughout
 // the repair algorithms (e.g. vertex-cover membership).
+//
+// Instances are always handled by pointer: the embedded code cache (see
+// Codes) contains a mutex and must not be copied.
 type Instance struct {
 	Schema *Schema
 	Tuples []Tuple
+
+	codes codeCache // lazily built dictionary-code columns; see codes.go
 }
 
 // NewInstance returns an empty instance of the schema.
@@ -89,7 +94,9 @@ func (in *Instance) AppendConsts(vals ...string) error {
 	return nil
 }
 
-// Clone returns a deep copy (tuples and cells).
+// Clone returns a deep copy (tuples and cells). Cached code columns are
+// not carried over: a clone that is subsequently mutated starts from an
+// empty cache and can never observe stale codes.
 func (in *Instance) Clone() *Instance {
 	out := &Instance{Schema: in.Schema, Tuples: make([]Tuple, len(in.Tuples))}
 	for i, t := range in.Tuples {

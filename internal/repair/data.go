@@ -8,7 +8,6 @@ package repair
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 
 	"relatrust/internal/conflict"
 	"relatrust/internal/fd"
@@ -94,17 +93,26 @@ func RepairData(in *relation.Instance, sigma fd.Set, cover []int32, seed int64) 
 }
 
 // cleanIndex indexes the satisfied part of the instance (I′ \ C2opt) per
-// FD: LHS projection key → the unique RHS value of that group. Because the
-// clean part satisfies sigma, the RHS value per key is single-valued.
+// FD: LHS projection code → the unique RHS value of that group. Because the
+// clean part satisfies sigma, the RHS value per code is single-valued.
+// Projections are interned by per-FD ProjCoders over dictionaries shared
+// across the FDs, so indexing and probing never build string keys.
 type cleanIndex struct {
-	sigma fd.Set
-	idx   []map[string]relation.Value
+	sigma  fd.Set
+	coders []*relation.ProjCoder
+	idx    []map[int32]relation.Value
 }
 
 func newCleanIndex(in *relation.Instance, sigma fd.Set, inCover map[int32]bool) *cleanIndex {
-	ci := &cleanIndex{sigma: sigma, idx: make([]map[string]relation.Value, len(sigma))}
-	for i := range sigma {
-		ci.idx[i] = make(map[string]relation.Value, in.N())
+	dicts := relation.NewDicts(in.Schema.Width())
+	ci := &cleanIndex{
+		sigma:  sigma,
+		coders: make([]*relation.ProjCoder, len(sigma)),
+		idx:    make([]map[int32]relation.Value, len(sigma)),
+	}
+	for i, f := range sigma {
+		ci.coders[i] = relation.NewProjCoder(f.LHS, dicts)
+		ci.idx[i] = make(map[int32]relation.Value, in.N())
 	}
 	for t := 0; t < in.N(); t++ {
 		if inCover[int32(t)] {
@@ -118,15 +126,21 @@ func newCleanIndex(in *relation.Instance, sigma fd.Set, inCover map[int32]bool) 
 // add registers a tuple as clean.
 func (ci *cleanIndex) add(t relation.Tuple) {
 	for i, f := range ci.sigma {
-		ci.idx[i][keyOf(t, f.LHS)] = t[f.RHS]
+		ci.idx[i][ci.coders[i].Code(t)] = t[f.RHS]
 	}
 }
 
 // violation returns the first FD (in Σ order) that tc violates against some
-// clean tuple, along with the clean side's RHS value.
+// clean tuple, along with the clean side's RHS value. The non-interning
+// Lookup keeps the fresh variables of candidate assignments out of the
+// dictionaries: an unseen cell means no clean tuple can share the key.
 func (ci *cleanIndex) violation(tc relation.Tuple) (fdIdx int, rhs relation.Value, found bool) {
 	for i, f := range ci.sigma {
-		v, ok := ci.idx[i][keyOf(tc, f.LHS)]
+		k, ok := ci.coders[i].Lookup(tc)
+		if !ok {
+			continue
+		}
+		v, ok := ci.idx[i][k]
 		if ok && !tc[f.RHS].Equal(v) {
 			return i, v, true
 		}
@@ -161,16 +175,4 @@ func (ci *cleanIndex) findAssignment(t relation.Tuple, fixed relation.AttrSet, v
 		tc[a] = v
 		fixed = fixed.Add(a)
 	}
-}
-
-// keyOf builds the hashable projection key of an arbitrary tuple on X,
-// using the same encoding as relation.Instance.Project.
-func keyOf(t relation.Tuple, X relation.AttrSet) string {
-	var b strings.Builder
-	X.ForEach(func(a int) bool {
-		b.WriteString(t[a].Key())
-		b.WriteByte(0x1f)
-		return true
-	})
-	return b.String()
 }

@@ -1,0 +1,118 @@
+package repair
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// refCleanIndex is the seed's string-keyed clean index, kept as the
+// equivalence oracle for the ProjCoder-based cleanIndex: same adds, same
+// violations, on tuple streams mixing constants, shared variables, and the
+// fresh variables findAssignment generates.
+type refCleanIndex struct {
+	sigma fd.Set
+	idx   []map[string]relation.Value
+}
+
+func newRefCleanIndex(sigma fd.Set) *refCleanIndex {
+	r := &refCleanIndex{sigma: sigma, idx: make([]map[string]relation.Value, len(sigma))}
+	for i := range sigma {
+		r.idx[i] = map[string]relation.Value{}
+	}
+	return r
+}
+
+func refKeyOf(t relation.Tuple, X relation.AttrSet) string {
+	var b strings.Builder
+	X.ForEach(func(a int) bool {
+		b.WriteString(t[a].Key())
+		b.WriteByte(0x1f)
+		return true
+	})
+	return b.String()
+}
+
+func (r *refCleanIndex) add(t relation.Tuple) {
+	for i, f := range r.sigma {
+		r.idx[i][refKeyOf(t, f.LHS)] = t[f.RHS]
+	}
+}
+
+func (r *refCleanIndex) violation(tc relation.Tuple) (int, relation.Value, bool) {
+	for i, f := range r.sigma {
+		v, ok := r.idx[i][refKeyOf(tc, f.LHS)]
+		if ok && !tc[f.RHS].Equal(v) {
+			return i, v, true
+		}
+	}
+	return 0, relation.Value{}, false
+}
+
+// TestQuickCleanIndexMatchesStringReference drives the code-based
+// cleanIndex and the string-keyed reference through identical random
+// add/violation interleavings and asserts identical answers at every step.
+func TestQuickCleanIndexMatchesStringReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 3 + rng.Intn(3)
+		names := make([]string, width)
+		for i := range names {
+			names[i] = string(rune('A' + i))
+		}
+		schema := relation.MustSchema(names...)
+		in := relation.NewInstance(schema)
+
+		nfd := 1 + rng.Intn(3)
+		sigma := make(fd.Set, 0, nfd)
+		for len(sigma) < nfd {
+			rhs := rng.Intn(width)
+			lhs := relation.NewAttrSet((rhs + 1) % width)
+			if rng.Intn(2) == 0 {
+				lhs = lhs.Add((rhs + 2) % width)
+			}
+			sigma = append(sigma, fd.MustNew(lhs, rhs))
+		}
+
+		ci := newCleanIndex(in, sigma, nil) // empty instance: index built incrementally below
+		ref := newRefCleanIndex(sigma)
+
+		var vg relation.VarGen
+		shared := []relation.Value{vg.Fresh(), vg.Fresh()}
+		mk := func() relation.Tuple {
+			tp := make(relation.Tuple, width)
+			for a := range tp {
+				switch rng.Intn(10) {
+				case 0:
+					tp[a] = shared[rng.Intn(len(shared))]
+				case 1:
+					tp[a] = vg.Fresh()
+				default:
+					tp[a] = relation.Const(string(rune('a' + rng.Intn(3))))
+				}
+			}
+			return tp
+		}
+
+		for step := 0; step < 60; step++ {
+			tp := mk()
+			gi, gv, gok := ci.violation(tp)
+			wi, wv, wok := ref.violation(tp)
+			if gok != wok || gi != wi || !gv.Equal(wv) {
+				return false
+			}
+			if rng.Intn(2) == 0 {
+				ci.add(tp)
+				ref.add(tp)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -24,22 +24,25 @@ import (
 // a fixed FD.
 type MDL struct {
 	in      *relation.Instance
+	part    *relation.Partitioner
 	valBits float64
 	cache   map[relation.AttrSet]float64
 }
 
 // NewMDL builds the description-length weighting bound to an instance.
 func NewMDL(in *relation.Instance) *MDL {
-	m := &MDL{in: in, cache: make(map[relation.AttrSet]float64)}
-	// Average per-column cardinality sets the per-table-row cost.
+	m := &MDL{
+		in:    in,
+		part:  relation.NewPartitioner(in),
+		cache: make(map[relation.AttrSet]float64),
+	}
+	// Average per-column cardinality sets the per-table-row cost; the
+	// distinct count per column is the size of its code dictionary.
 	total := 0.0
 	width := in.Schema.Width()
 	for a := 0; a < width; a++ {
-		seen := make(map[string]struct{}, in.N())
-		for t := 0; t < in.N(); t++ {
-			seen[in.Tuples[t][a].Key()] = struct{}{}
-		}
-		total += float64(len(seen))
+		_, n := in.Codes(a)
+		total += float64(n)
 	}
 	avg := total / math.Max(float64(width), 1)
 	m.valBits = math.Log2(math.Max(avg, 2))
@@ -54,11 +57,9 @@ func (m *MDL) Weight(y relation.AttrSet) float64 {
 	if w, ok := m.cache[y]; ok {
 		return w
 	}
-	seen := make(map[string]struct{}, m.in.N())
-	for t := 0; t < m.in.N(); t++ {
-		seen[m.in.Project(t, y)] = struct{}{}
-	}
-	w := float64(len(seen)) * m.valBits
+	m.part.BeginAll()
+	m.part.RefineSet(y)
+	w := float64(m.part.Partition().NumGroups()) * m.valBits
 	m.cache[y] = w
 	return w
 }

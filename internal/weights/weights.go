@@ -39,15 +39,22 @@ func (AttrCount) Name() string { return "attr-count" }
 // NewDistinctCount.
 type DistinctCount struct {
 	in    *relation.Instance
+	part  *relation.Partitioner
 	cache map[relation.AttrSet]float64
 }
 
 // NewDistinctCount builds a distinct-value weighting bound to an instance.
 func NewDistinctCount(in *relation.Instance) *DistinctCount {
-	return &DistinctCount{in: in, cache: make(map[relation.AttrSet]float64)}
+	return &DistinctCount{
+		in:    in,
+		part:  relation.NewPartitioner(in),
+		cache: make(map[relation.AttrSet]float64),
+	}
 }
 
-// Weight returns |Π_Y(I)|, and 0 for the empty set.
+// Weight returns |Π_Y(I)|, and 0 for the empty set. Distinct projections
+// are counted as groups of a code-based partition refinement, not by
+// materializing projection keys.
 func (d *DistinctCount) Weight(y relation.AttrSet) float64 {
 	if y.IsEmpty() {
 		return 0
@@ -55,11 +62,9 @@ func (d *DistinctCount) Weight(y relation.AttrSet) float64 {
 	if w, ok := d.cache[y]; ok {
 		return w
 	}
-	seen := make(map[string]struct{}, d.in.N())
-	for t := 0; t < d.in.N(); t++ {
-		seen[d.in.Project(t, y)] = struct{}{}
-	}
-	w := float64(len(seen))
+	d.part.BeginAll()
+	d.part.RefineSet(y)
+	w := float64(d.part.Partition().NumGroups())
 	d.cache[y] = w
 	return w
 }
@@ -73,15 +78,21 @@ func (d *DistinctCount) Name() string { return "distinct-count" }
 // contract holds. Construct with NewEntropy.
 type Entropy struct {
 	in    *relation.Instance
+	part  *relation.Partitioner
 	cache map[relation.AttrSet]float64
 }
 
 // NewEntropy builds an entropy weighting bound to an instance.
 func NewEntropy(in *relation.Instance) *Entropy {
-	return &Entropy{in: in, cache: make(map[relation.AttrSet]float64)}
+	return &Entropy{
+		in:    in,
+		part:  relation.NewPartitioner(in),
+		cache: make(map[relation.AttrSet]float64),
+	}
 }
 
-// Weight returns H(Π_Y(I)) in bits, and 0 for the empty set.
+// Weight returns H(Π_Y(I)) in bits, and 0 for the empty set. Group sizes
+// come from a code-based partition refinement.
 func (e *Entropy) Weight(y relation.AttrSet) float64 {
 	if y.IsEmpty() {
 		return 0
@@ -93,13 +104,12 @@ func (e *Entropy) Weight(y relation.AttrSet) float64 {
 	if n == 0 {
 		return 0
 	}
-	counts := make(map[string]int, n)
-	for t := 0; t < n; t++ {
-		counts[e.in.Project(t, y)]++
-	}
+	e.part.BeginAll()
+	e.part.RefineSet(y)
+	pt := e.part.Partition()
 	h := 0.0
-	for _, c := range counts {
-		p := float64(c) / float64(n)
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		p := float64(len(pt.Group(gi))) / float64(n)
 		h -= p * math.Log2(p)
 	}
 	if h < 0 { // guard against -0 from rounding
