@@ -40,7 +40,6 @@ func BenchmarkAblationHeuristicBudget(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				an := conflict.New(w.Dirty, w.SigmaD)
 				s := search.NewSearcher(an, weights.NewDistinctCount(w.Dirty), search.Options{
-					Heuristic:   true,
 					MaxDiffSets: maxDs,
 				})
 				res, err := s.Find(s.DeltaPOriginal() / 100)
@@ -66,7 +65,6 @@ func BenchmarkAblationEdgeSampling(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				an := conflict.New(w.Dirty, w.SigmaD)
 				s := search.NewSearcher(an, weights.NewDistinctCount(w.Dirty), search.Options{
-					Heuristic:     true,
 					CapPerCluster: cap,
 				})
 				res, err := s.Find(s.DeltaPOriginal() / 100)

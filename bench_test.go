@@ -11,6 +11,7 @@ package relatrust_test
 // seconds); RELATRUST_BENCH_SCALE overrides the multiplier.
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"testing"
@@ -240,15 +241,45 @@ func BenchmarkCoverVector(b *testing.B) {
 	}
 }
 
-// BenchmarkFDSearch measures a complete A* FD-modification search.
+// BenchmarkFDSearch measures a complete A* FD-modification search at the
+// n=10k workload, swept over the parallel engine's worker counts. The
+// searcher (conflict analysis, difference sets, heuristic) is built once:
+// the sweep isolates the search loop the Workers knob parallelizes.
+// Results are bit-identical across the sweep; only wall-clock differs.
 func BenchmarkFDSearch(b *testing.B) {
-	in, sigma := benchWorkload(b, 2000)
+	in, sigma := benchWorkload(b, 10000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := search.DefaultOptions()
+			opt.Workers = workers
+			s := search.NewSearcher(conflict.New(in, sigma), weights.NewDistinctCount(in), opt)
+			tau := s.DeltaPOriginal() / 10
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Find(tau); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalysisFork measures forking a worker's analysis off a
+// prebuilt one plus a cover query — the per-worker setup cost of the
+// parallel search engine. With Release recycling scratch through the
+// fork pool, the steady state allocates nothing.
+func BenchmarkAnalysisFork(b *testing.B) {
+	in, sigma := benchWorkload(b, 10000)
+	a := conflict.New(in, sigma)
+	f := a.Fork()
+	f.CoverSize(nil) // grow the pooled scratch to the working-set size
+	f.Release()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := search.NewSearcher(conflict.New(in, sigma), weights.NewDistinctCount(in), search.DefaultOptions())
-		if _, err := s.Find(s.DeltaPOriginal() / 10); err != nil {
-			b.Fatal(err)
-		}
+		g := a.Fork()
+		g.CoverSize(nil)
+		g.Release()
 	}
 }
 
@@ -263,14 +294,21 @@ func BenchmarkRepairData(b *testing.B) {
 	}
 }
 
-// BenchmarkSuggestRepairs measures the full public-API pipeline: analyze,
-// search the whole trust range, and materialize every repair.
+// BenchmarkSuggestRepairs measures the full public-API pipeline — analyze,
+// search the whole trust range, materialize every repair — swept over the
+// search worker counts. n=2000 keeps one full-spectrum sweep around ten
+// seconds on one core; the FD search dominates, so the Workers knob is
+// visible end to end.
 func BenchmarkSuggestRepairs(b *testing.B) {
-	in, sigma := benchWorkload(b, 400)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := relatrust.SuggestRepairs(in, sigma, relatrust.Options{Seed: 1}); err != nil {
-			b.Fatal(err)
-		}
+	in, sigma := benchWorkload(b, 2000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := relatrust.SuggestRepairs(in, sigma, relatrust.Options{Seed: 1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

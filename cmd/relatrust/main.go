@@ -38,6 +38,7 @@ func run() error {
 		tau       = flag.Int("tau", -1, "cell-change budget; -1 sweeps the whole trust spectrum")
 		weighting = flag.String("weights", "distinct-count", "FD-modification weighting: attr-count | distinct-count | entropy")
 		bestFirst = flag.Bool("best-first", false, "use best-first search instead of A*")
+		workers   = flag.Int("workers", 0, "parallel evaluation workers for the FD search (0 = GOMAXPROCS, 1 = sequential)")
 		seed      = flag.Int64("seed", 1, "seed for the randomized data-repair order")
 		outPath   = flag.String("o", "", "write the repaired data of the last printed repair to this CSV file")
 		showData  = flag.Bool("show-cells", false, "list every changed cell per repair")
@@ -73,7 +74,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opt := relatrust.Options{Weights: w, BestFirst: *bestFirst, Seed: *seed}
+	opt := relatrust.Options{Weights: w, BestFirst: *bestFirst, Seed: *seed, Workers: *workers}
 
 	fmt.Printf("%d tuples × %d attributes, Σ = %s\n", in.N(), in.Schema.Width(), sigma.Format(in.Schema))
 	if relatrust.Satisfies(in, sigma) {

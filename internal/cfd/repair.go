@@ -62,10 +62,10 @@ func RepairWithBudget(in *relation.Instance, set Set, tau int, cfg Config) (*Rep
 	if cfg.Weights == nil {
 		cfg.Weights = weights.AttrCount{}
 	}
-	if !cfg.Search.Heuristic && cfg.Search.MaxVisited == 0 && cfg.Search.MaxDiffSets == 0 {
+	if cfg.Search == (search.Options{}) {
 		// The gc heuristic's difference-set reasoning is FD-shaped; CFD
 		// search defaults to the exhaustive-but-sound best-first mode.
-		cfg.Search = search.Options{Heuristic: false}
+		cfg.Search.BestFirst = true
 	}
 
 	embedded := make(fd.Set, len(set))

@@ -18,12 +18,27 @@
 // conflict graph of Σ, and an Analysis built once from (I, Σ) can answer
 // vertex-cover queries for every extension vector by refining its stored
 // clusters instead of rescanning the instance.
+//
+// # Concurrency model
+//
+// An Analysis is single-goroutine: cover queries run against per-Analysis
+// epoch-versioned scratch. Concurrent evaluation (the parallel A* engine in
+// internal/search) uses Fork: a forked Analysis shares the instance, its
+// immutable code columns and dictionary, and the cluster arenas — all
+// read-only after New — while owning private partitioner scratch, matched
+// marks, and cover buffers, so queries on different forks never touch the
+// same mutable memory. Queries are deterministic: any fork returns
+// bit-identical covers for the same extension vector. Release returns a
+// fork's scratch to a pool shared by every fork of the same analysis, so a
+// search run that repeatedly forks (one fork per worker, per search)
+// allocates the scratch only once.
 package conflict
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
@@ -64,6 +79,11 @@ type Analysis struct {
 	seedScratch  []int32
 	coverScratch []int32
 	matchedList  []int32 // endpoints of the pass-1 matching, in pair order
+
+	// forkPool recycles released forks across the forks of one analysis,
+	// so repeated Fork/Release cycles (one per search run) reuse the
+	// per-fork scratch instead of reallocating it.
+	forkPool *sync.Pool
 }
 
 // New builds the analysis in O(|Σ|·n) expected time.
@@ -83,6 +103,7 @@ func NewFiltered(in *relation.Instance, sigma fd.Set, filters []func(relation.Tu
 		clusters: make([][][]int32, len(sigma)),
 		matched:  make([]int, in.N()),
 		part:     relation.NewPartitioner(in),
+		forkPool: &sync.Pool{},
 	}
 	seed := make([]int32, 0, in.N())
 	for fi, f := range sigma {
@@ -144,6 +165,39 @@ func mixedRHS(g []int32, rhs []int32) bool {
 
 // N returns the number of tuples in the analyzed instance.
 func (a *Analysis) N() int { return a.In.N() }
+
+// Fork returns an Analysis answering the same queries as a, for use on a
+// different goroutine. The fork shares everything immutable — the instance
+// (and its code columns and dictionary, which are built once under the
+// instance's mutex), the FD set, and the cluster arenas — and owns private
+// epoch-versioned scratch (partitioner buffers, matched marks, cover and
+// matching lists), so cover and matching queries on distinct forks are
+// lock-free and never race. Query results are bit-identical across forks.
+//
+// Forks are recycled: Fork first tries the pool fed by Release, so a
+// workload that forks repeatedly (a worker pool per search run) pays the
+// scratch allocation only until the pool is warm. Forking a fork draws
+// from the same pool.
+func (a *Analysis) Fork() *Analysis {
+	if f, _ := a.forkPool.Get().(*Analysis); f != nil {
+		return f
+	}
+	return &Analysis{
+		In:       a.In,
+		Sigma:    a.Sigma,
+		clusters: a.clusters,
+		matched:  make([]int, a.In.N()),
+		part:     relation.NewPartitioner(a.In),
+		forkPool: a.forkPool,
+	}
+}
+
+// Release returns an analysis obtained from Fork to the shared pool for
+// reuse by a later Fork. The caller must not use the analysis afterwards.
+func (a *Analysis) Release() {
+	a.protected = nil
+	a.forkPool.Put(a)
+}
 
 // ViolatingTuples returns how many tuples participate in at least one
 // violating cluster of the base FD set; useful for sizing reports.

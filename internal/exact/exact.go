@@ -31,7 +31,7 @@ func DeltaOpt(in *relation.Instance, sigma fd.Set) (int, *relation.Instance, err
 	if totalCells > MaxCells {
 		return 0, nil, fmt.Errorf("exact: instance has %d cells, limit is %d", totalCells, MaxCells)
 	}
-	if sigma.SatisfiedBy(in) {
+	if satisfied(in, sigma) {
 		return 0, in.Clone(), nil
 	}
 	// Candidate values per attribute: the active domain plus one fresh
@@ -96,7 +96,7 @@ func trySubsets(in *relation.Instance, sigma fd.Set, cells []relation.CellRef, c
 // from its original value.
 func tryAssignments(work, orig *relation.Instance, sigma fd.Set, cells []relation.CellRef, candidates [][]relation.Value, idx []int, pos int, vg *relation.VarGen) *relation.Instance {
 	if pos == len(idx) {
-		if sigma.SatisfiedBy(work) {
+		if satisfied(work, sigma) {
 			return work.Clone()
 		}
 		return nil
@@ -117,4 +117,25 @@ func tryAssignments(work, orig *relation.Instance, sigma fd.Set, cells []relatio
 	}
 	work.Tuples[c.Tuple][c.Attr] = origVal
 	return nil
+}
+
+// satisfied checks Σ by direct pairwise comparison. The exhaustive search
+// mutates its working instance in place between checks, so it must not use
+// fd.Set.SatisfiedBy — that goes through the instance's cached dictionary
+// code columns, which in-place mutation leaves stale (see
+// relation.Instance.Codes). On the ≤ MaxCells instances this package
+// accepts, O(n²) per check is both faster than any keyed scan and
+// allocation-free in the innermost loop of the search.
+func satisfied(in *relation.Instance, sigma fd.Set) bool {
+	for _, f := range sigma {
+		for i := 0; i < in.N(); i++ {
+			for j := i + 1; j < in.N(); j++ {
+				ti, tj := in.Tuples[i], in.Tuples[j]
+				if ti.AgreeOn(tj, f.LHS) && !ti[f.RHS].Equal(tj[f.RHS]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }

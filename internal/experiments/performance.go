@@ -275,7 +275,7 @@ func FormatFigure13(points []Fig13Point) string {
 func repairConfigOf(w *Workload, cfg Config) repair.Config {
 	return repair.Config{
 		Weights: weights.NewDistinctCount(w.Dirty),
-		Search:  search.Options{Heuristic: true, MaxVisited: cfg.MaxVisited},
+		Search:  search.Options{MaxVisited: cfg.MaxVisited},
 		Seed:    cfg.Seed,
 	}
 }

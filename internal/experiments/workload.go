@@ -95,7 +95,7 @@ func MakeWorkload(spec gen.Spec, sigma fd.Set, n int, fdErr, dataErr float64, se
 func (w *Workload) Session(heuristic bool, maxVisited int, seed int64) (*repair.Session, error) {
 	return repair.NewSession(w.Dirty, w.SigmaD, repair.Config{
 		Weights: weights.NewDistinctCount(w.Dirty),
-		Search:  search.Options{Heuristic: heuristic, MaxVisited: maxVisited},
+		Search:  search.Options{BestFirst: !heuristic, MaxVisited: maxVisited},
 		Seed:    seed,
 	})
 }

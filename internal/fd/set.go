@@ -2,7 +2,6 @@ package fd
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"relatrust/internal/relation"
@@ -99,10 +98,15 @@ func (set Set) Format(s *relation.Schema) string {
 }
 
 // SatisfiedBy reports whether the instance satisfies every FD in the set.
-// It runs in O(|Σ|·n) expected time by partitioning tuples on their LHS
-// projection instead of testing all pairs. Variable cells are encoded into
-// the projection key by identity, so two tuples land in the same group iff
-// they agree on the LHS under V-instance semantics.
+// It runs in O(|Σ|·n) time by partitioning tuples on dictionary-encoded
+// LHS codes instead of testing all pairs. Variables are interned by
+// identity, so two tuples land in the same group iff they agree on the LHS
+// under V-instance semantics.
+//
+// Like every code-column consumer, this reads the instance's cached
+// dictionary codes: callers that mutate cells in place between checks must
+// call Instance.InvalidateCodes first (appends and clones are tracked
+// automatically).
 func (set Set) SatisfiedBy(in *relation.Instance) bool {
 	return set.FirstViolation(in) == nil
 }
@@ -115,23 +119,41 @@ type Violation struct {
 }
 
 // FirstViolation returns one violation, or nil if the instance satisfies
-// the set.
+// the set. The pair is the first in tuple order: for the first FD (in Σ
+// order) with any violation, T2 is the smallest tuple index whose RHS
+// disagrees with the representative (first member, = T1) of its LHS group.
+// The pair a string-keyed single-pass scan would report; pinned by an
+// equivalence test against that oracle.
 func (set Set) FirstViolation(in *relation.Instance) *Violation {
+	p := relation.NewPartitioner(in)
 	for fi, f := range set {
-		groups := make(map[string]int, in.N()) // LHS key -> representative tuple
-		for i := 0; i < in.N(); i++ {
-			key := in.Project(i, f.LHS)
-			if j, ok := groups[key]; ok {
-				if !in.Tuples[i][f.RHS].Equal(in.Tuples[j][f.RHS]) {
-					t1, t2 := j, i
-					if t1 > t2 {
-						t1, t2 = t2, t1
-					}
-					return &Violation{T1: t1, T2: t2, FD: fi}
-				}
+		p.BeginAll()
+		p.RefineSet(f.LHS)
+		pt := p.Partition()
+		rhs, _ := in.Codes(f.RHS)
+		// Refinement is stable over the ascending seed, so each group lists
+		// its members in tuple order and g[0] is the group representative.
+		// The scan's first conflicting tuple is the smallest "first member
+		// disagreeing with its representative" across groups.
+		t2 := -1
+		t1 := -1
+		for gi := 0; gi < pt.NumGroups(); gi++ {
+			g := pt.Group(gi)
+			if len(g) < 2 {
 				continue
 			}
-			groups[key] = i
+			r0 := rhs[g[0]]
+			for _, m := range g[1:] {
+				if rhs[m] != r0 {
+					if t2 < 0 || int(m) < t2 {
+						t1, t2 = int(g[0]), int(m)
+					}
+					break
+				}
+			}
+		}
+		if t2 >= 0 {
+			return &Violation{T1: t1, T2: t2, FD: fi}
 		}
 	}
 	return nil
@@ -139,27 +161,25 @@ func (set Set) FirstViolation(in *relation.Instance) *Violation {
 
 // Violations enumerates all violating pairs for every FD in the set, up to
 // the given cap (cap <= 0 means unlimited). The result is deterministic for
-// a fixed instance. Beware: badly violated FDs can induce Θ(n²) pairs; use
-// the conflict package for cover computations that avoid enumeration.
+// a fixed instance: FDs in Σ order, LHS groups in order of their first
+// member (stable code-based refinement keeps members in tuple order), pairs
+// in lexicographic (T1, T2) order within a group. Beware: badly violated
+// FDs can induce Θ(n²) pairs; use the conflict package for cover
+// computations that avoid enumeration.
 func (set Set) Violations(in *relation.Instance, cap int) []Violation {
+	p := relation.NewPartitioner(in)
 	var out []Violation
 	for fi, f := range set {
-		groups := make(map[string][]int, in.N())
-		for i := 0; i < in.N(); i++ {
-			key := in.Project(i, f.LHS)
-			groups[key] = append(groups[key], i)
-		}
-		keys := make([]string, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			g := groups[k]
+		p.BeginAll()
+		p.RefineSet(f.LHS)
+		pt := p.Partition()
+		rhs, _ := in.Codes(f.RHS)
+		for gi := 0; gi < pt.NumGroups(); gi++ {
+			g := pt.Group(gi)
 			for a := 0; a < len(g); a++ {
 				for b := a + 1; b < len(g); b++ {
-					if !in.Tuples[g[a]][f.RHS].Equal(in.Tuples[g[b]][f.RHS]) {
-						out = append(out, Violation{T1: g[a], T2: g[b], FD: fi})
+					if rhs[g[a]] != rhs[g[b]] {
+						out = append(out, Violation{T1: int(g[a]), T2: int(g[b]), FD: fi})
 						if cap > 0 && len(out) >= cap {
 							return out
 						}

@@ -1,0 +1,204 @@
+package fd
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"relatrust/internal/relation"
+)
+
+// The seed implementation of FirstViolation/Violations projected tuples to
+// concatenated string keys. The ports below reproduce it verbatim as
+// oracles; the code-based implementations must preserve FirstViolation's
+// first-pair-in-tuple-order contract exactly and enumerate the same pair
+// set in Violations.
+
+func oracleFirstViolation(set Set, in *relation.Instance) *Violation {
+	for fi, f := range set {
+		groups := make(map[string]int, in.N())
+		for i := 0; i < in.N(); i++ {
+			key := in.Project(i, f.LHS)
+			if j, ok := groups[key]; ok {
+				if !in.Tuples[i][f.RHS].Equal(in.Tuples[j][f.RHS]) {
+					t1, t2 := j, i
+					if t1 > t2 {
+						t1, t2 = t2, t1
+					}
+					return &Violation{T1: t1, T2: t2, FD: fi}
+				}
+				continue
+			}
+			groups[key] = i
+		}
+	}
+	return nil
+}
+
+func oracleViolations(set Set, in *relation.Instance, cap int) []Violation {
+	var out []Violation
+	for fi, f := range set {
+		groups := make(map[string][]int, in.N())
+		for i := 0; i < in.N(); i++ {
+			key := in.Project(i, f.LHS)
+			groups[key] = append(groups[key], i)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g := groups[k]
+			for a := 0; a < len(g); a++ {
+				for b := a + 1; b < len(g); b++ {
+					if !in.Tuples[g[a]][f.RHS].Equal(in.Tuples[g[b]][f.RHS]) {
+						out = append(out, Violation{T1: g[a], T2: g[b], FD: fi})
+						if cap > 0 && len(out) >= cap {
+							return out
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// randomVInstance builds an instance over small domains with occasional
+// variable cells (shared and unique), exercising V-instance semantics.
+func randomVInstance(rng *rand.Rand, n, width, domain int) (*relation.Instance, *relation.VarGen) {
+	names := make([]string, width)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	s, err := relation.NewSchema(names...)
+	if err != nil {
+		panic(err)
+	}
+	in := relation.NewInstance(s)
+	vg := &relation.VarGen{}
+	var sharedVar relation.Value
+	hasShared := false
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, width)
+		for a := range t {
+			switch rng.Intn(10) {
+			case 0:
+				t[a] = vg.Fresh()
+			case 1:
+				if !hasShared {
+					sharedVar = vg.Fresh()
+					hasShared = true
+				}
+				t[a] = sharedVar
+			default:
+				t[a] = relation.Const(string(rune('a' + rng.Intn(domain))))
+			}
+		}
+		if err := in.Append(t); err != nil {
+			panic(err)
+		}
+	}
+	return in, vg
+}
+
+func randomSet(rng *rand.Rand, width, size int) Set {
+	var out Set
+	for len(out) < size {
+		lhsSize := 1 + rng.Intn(2)
+		var lhs relation.AttrSet
+		for lhs.Len() < lhsSize {
+			lhs = lhs.Add(rng.Intn(width))
+		}
+		rhs := rng.Intn(width)
+		if lhs.Contains(rhs) {
+			continue
+		}
+		f, err := New(lhs, rhs)
+		if err != nil {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TestFirstViolationMatchesOracle pins the code-column implementation to
+// the string-keyed scan pair-for-pair on randomized V-instances.
+func TestFirstViolationMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		width := 3 + rng.Intn(3)
+		in, _ := randomVInstance(rng, 4+rng.Intn(24), width, 2+rng.Intn(3))
+		set := randomSet(rng, width, 1+rng.Intn(3))
+		want := oracleFirstViolation(set, in)
+		got := set.FirstViolation(in)
+		if (want == nil) != (got == nil) {
+			t.Fatalf("trial %d: oracle %+v, got %+v\nΣ=%v\n%s", trial, want, got, set, in)
+		}
+		if want == nil {
+			continue
+		}
+		checked++
+		if *want != *got {
+			t.Fatalf("trial %d: oracle %+v, got %+v (first-pair-in-tuple-order contract)\nΣ=%v\n%s",
+				trial, want, got, set, in)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d trials had violations; workload too clean to be meaningful", checked)
+	}
+}
+
+// TestViolationsMatchOracle: the enumerated pair set must equal the
+// oracle's (order may legitimately differ — the oracle visited groups in
+// sorted-string-key order, the port in first-member order — so both sides
+// are compared as sorted sets), and capping must truncate a prefix of the
+// ported order.
+func TestViolationsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	sortViol := func(v []Violation) {
+		sort.Slice(v, func(i, j int) bool {
+			if v[i].FD != v[j].FD {
+				return v[i].FD < v[j].FD
+			}
+			if v[i].T1 != v[j].T1 {
+				return v[i].T1 < v[j].T1
+			}
+			return v[i].T2 < v[j].T2
+		})
+	}
+	for trial := 0; trial < 200; trial++ {
+		width := 3 + rng.Intn(3)
+		in, _ := randomVInstance(rng, 4+rng.Intn(20), width, 2+rng.Intn(2))
+		set := randomSet(rng, width, 1+rng.Intn(3))
+
+		want := oracleViolations(set, in, 0)
+		got := set.Violations(in, 0)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: oracle %d pairs, got %d", trial, len(want), len(got))
+		}
+		full := append([]Violation(nil), got...)
+		sortViol(want)
+		sortViol(got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: pair sets differ at %d: oracle %+v, got %+v", trial, i, want[i], got[i])
+			}
+		}
+		if len(full) > 1 {
+			capN := 1 + rng.Intn(len(full))
+			capped := set.Violations(in, capN)
+			if len(capped) != capN {
+				t.Fatalf("trial %d: cap %d returned %d pairs", trial, capN, len(capped))
+			}
+			for i := range capped {
+				if capped[i] != full[i] {
+					t.Fatalf("trial %d: capped result is not a prefix of the full enumeration", trial)
+				}
+			}
+		}
+	}
+}

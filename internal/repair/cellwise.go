@@ -75,6 +75,7 @@ func RepairDataCellwise(in *relation.Instance, sigma fd.Set, cover []int32, seed
 		}
 		ci.add(t)
 	}
+	out.InvalidateCodes() // the loop above rewrote cells in place
 	if v := sigma.FirstViolation(out); v != nil {
 		return nil, fmt.Errorf("repair: cellwise repair left a violation of %s between tuples %d and %d",
 			sigma[v.FD], v.T1, v.T2)

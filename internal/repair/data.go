@@ -85,6 +85,9 @@ func RepairData(in *relation.Instance, sigma fd.Set, cover []int32, seed int64) 
 	// Safety net: a wrong cover (not actually covering every conflict)
 	// would leave violations among the "clean" tuples that the per-tuple
 	// loop never examines. One linear verification pass catches it.
+	// FirstViolation reads cached code columns, so drop any built before
+	// the in-place rewrites above (none today; this guards reordering).
+	out.InvalidateCodes()
 	if v := sigma.FirstViolation(out); v != nil {
 		return nil, fmt.Errorf("repair: instance still violates %s between tuples %d and %d; the supplied cover is not a vertex cover",
 			sigma[v.FD], v.T1, v.T2)

@@ -84,6 +84,7 @@ func RepairDataPinned(in *relation.Instance, sigma fd.Set, pinned map[relation.C
 		}
 		ci.add(t)
 	}
+	out.InvalidateCodes() // the loop above rewrote cells in place
 	if v := sigma.FirstViolation(out); v != nil {
 		return nil, fmt.Errorf("repair: instance still violates %s between tuples %d and %d after pinned repair",
 			sigma[v.FD], v.T1, v.T2)

@@ -42,7 +42,8 @@ type Config struct {
 	// Weights prices LHS extensions; nil means weights.AttrCount.
 	Weights weights.Func
 	// Search tunes the FD-modification search; the zero value selects A*
-	// with the defaults.
+	// with the defaults (search.Options zero value — NewSearcher fills the
+	// knobs in, so no sentinel detection is needed here).
 	Search search.Options
 	// Seed drives the randomized data-repair order (Algorithm 4).
 	Seed int64
@@ -51,11 +52,6 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Weights == nil {
 		c.Weights = weights.AttrCount{}
-	}
-	if !c.Search.Heuristic && c.Search.MaxDiffSets == 0 && c.Search.CapPerCluster == 0 &&
-		c.Search.ComboCap == 0 && c.Search.MaxVisited == 0 {
-		// Zero value: default to the paper's A*.
-		c.Search = search.DefaultOptions()
 	}
 	return c
 }

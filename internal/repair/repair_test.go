@@ -179,7 +179,7 @@ func TestRunOneShotWrapper(t *testing.T) {
 
 func TestBestFirstConfig(t *testing.T) {
 	in, sigma := testkit.Paper4x4()
-	s, err := NewSession(in, sigma, Config{Search: search.Options{Heuristic: false}})
+	s, err := NewSession(in, sigma, Config{Search: search.Options{BestFirst: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"relatrust/internal/conflict"
@@ -12,12 +13,14 @@ import (
 	"relatrust/internal/weights"
 )
 
-// Options tunes the FD-modification search.
+// Options tunes the FD-modification search. The zero value selects the
+// paper's A*-Repair with default knobs.
 type Options struct {
-	// Heuristic selects A* with the gc(S) lower bound (true, the paper's
-	// A*-Repair) or plain best-first search on state cost (false, the
-	// Best-First-Repair baseline).
-	Heuristic bool
+	// BestFirst disables the gc(S) lower bound and explores in plain
+	// state-cost order (the Best-First-Repair baseline). The zero value is
+	// the paper's A*-Repair — deliberately, so an unset Options can never
+	// silently select the baseline algorithm.
+	BestFirst bool
 	// MaxDiffSets caps |Ds|, the difference sets the heuristic reasons
 	// about per state. Larger is tighter but more expensive. Default 3.
 	MaxDiffSets int
@@ -34,6 +37,13 @@ type Options struct {
 	// MatchSampleCap bounds the vertex-disjoint matching sample behind
 	// the knapsack half of the heuristic. Default 2000.
 	MatchSampleCap int
+	// Workers sets the number of parallel evaluation workers: successor
+	// scoring, the goal-test cover query, and open-list re-estimation fan
+	// out across this many goroutines, each owning a forked
+	// conflict.Analysis and a private cost cache. 1 runs the sequential
+	// engine; <= 0 selects GOMAXPROCS. Results are bit-identical for every
+	// worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,12 +62,15 @@ func (o Options) withDefaults() Options {
 	if o.MatchSampleCap <= 0 {
 		o.MatchSampleCap = 2000
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
 // DefaultOptions returns the A* configuration used by the paper's
 // experiments.
-func DefaultOptions() Options { return Options{Heuristic: true}.withDefaults() }
+func DefaultOptions() Options { return Options{}.withDefaults() }
 
 // Stats reports search effort.
 type Stats struct {
@@ -79,8 +92,11 @@ type Result struct {
 	Stats     Stats
 }
 
-// Searcher runs FD-modification searches over one analyzed instance. It is
-// not safe for concurrent use (it shares the analysis' scratch space).
+// Searcher runs FD-modification searches over one analyzed instance. The
+// Searcher itself is not safe for concurrent use (it shares the analysis'
+// scratch space); with Options.Workers > 1 each search call internally
+// fans evaluations out over forked analyses while keeping results
+// bit-identical to the sequential engine.
 type Searcher struct {
 	An    *conflict.Analysis
 	W     weights.Func
@@ -209,7 +225,18 @@ func (s *Searcher) FindRange(tauLow, tauHigh int) ([]*Result, error) {
 
 // run is the shared engine: a single-τ search is a range search whose first
 // goal ends it. The onGoal hook, when non-nil, observes every goal found.
+// Workers > 1 selects the pipelined parallel engine, which returns results
+// bit-identical to the sequential one (see runPar).
 func (s *Searcher) run(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result, error) {
+	if s.Opt.Workers > 1 {
+		return s.runPar(tauLow, tauHigh, onGoal)
+	}
+	return s.runSeq(tauLow, tauHigh, onGoal)
+}
+
+// runSeq is the sequential engine: everything happens on the calling
+// goroutine against the searcher's own analysis and cost cache.
+func (s *Searcher) runSeq(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result, error) {
 	start := time.Now()
 	stats := Stats{}
 	tau := tauHigh
@@ -223,7 +250,7 @@ func (s *Searcher) run(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result, er
 	}
 
 	gcOf := func(st State, cost float64, tau int) float64 {
-		if !s.Opt.Heuristic {
+		if s.Opt.BestFirst {
 			return cost
 		}
 		stats.GCCalls++
@@ -298,6 +325,148 @@ func (s *Searcher) run(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result, er
 			heap.Push(pq, &node{state: c, cost: cost, gc: gc, seq: seq})
 		}
 	}
+	stats.Duration = time.Since(start)
+	for _, r := range results {
+		r.Stats = stats
+	}
+	return results, nil
+}
+
+// runPar is the parallel engine behind Options.Workers: the same A* loop
+// as runSeq, with the three expensive per-iteration evaluations fanned out
+// over an evalPool (see pool.go):
+//
+//   - the popped state's goal-test CoverSize runs on one worker, usually
+//     prefetched one iteration early — while the children of the previous
+//     pop were still being scored — by speculating that the current heap
+//     top wins the next pop (cover queries do not depend on τ, so only a
+//     child overtaking the top invalidates the prefetch);
+//   - the popped state's children are batch-scored (StateCost + gc) across
+//     the workers, speculatively under the current τ, and re-scored in the
+//     rare case a goal tightens τ underneath them;
+//   - after a goal, the open-list re-estimation fans out in chunks.
+//
+// Determinism: scores land in generation order regardless of worker finish
+// order, children receive exactly the seq tie-breakers runSeq would assign,
+// the re-estimation compaction visits nodes in heap-array order, and every
+// worker computes bit-identical floats (forked analyses share the immutable
+// clusters; cost caches memoize one deterministic weights.Func). The pop
+// sequence — and therefore results, goal order, and stats — matches runSeq
+// exactly. Stats count logical evaluations: discarded speculative work is
+// not reported, so effort numbers stay comparable across worker counts.
+func (s *Searcher) runPar(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result, error) {
+	start := time.Now()
+	stats := Stats{}
+	tau := tauHigh
+	sigma := s.An.Sigma
+	width := s.An.In.Schema.Width()
+
+	// Permanent conflicts put a hard floor under δP of every relaxation:
+	// below it there is no goal anywhere in the space, so don't search.
+	if tau < s.floor {
+		return nil, nil
+	}
+
+	pool := newEvalPool(s, s.Opt.Workers)
+	defer pool.close()
+
+	var results []*Result
+	pq := &openList{}
+	heap.Init(pq)
+	seq := 0
+	root := Root(len(sigma))
+	rootCost := s.costs.StateCost(root)
+	rootGC := rootCost
+	if !s.Opt.BestFirst {
+		stats.GCCalls++
+		rootGC = s.h.gc(root, s.ds, tau)
+	}
+	heap.Push(pq, &node{state: root, cost: rootCost, gc: rootGC, seq: seq})
+
+	var childBuf []State
+	var scoreBuf []childScore
+	var prefetch *coverTask // speculative goal test of the predicted next pop
+	for pq.Len() > 0 && tau >= tauLow {
+		if stats.Visited >= s.Opt.MaxVisited {
+			prefetch.discard()
+			return nil, fmt.Errorf("search: aborted after visiting %d states (MaxVisited)", stats.Visited)
+		}
+		n := heap.Pop(pq).(*node)
+		stats.Visited++
+		cover := prefetch
+		prefetch = nil
+		if cover != nil && cover.forNode != n {
+			cover.discard() // mispredicted: a pushed child overtook the heap top
+			cover = nil
+		}
+		if cover == nil {
+			cover = pool.startCover(n.state, n)
+		}
+		if pq.Len() > 0 {
+			prefetch = pool.startCover((*pq)[0].state, (*pq)[0])
+		}
+		// Score the children under the current τ while the goal test (and
+		// the prefetch for the next pop) are in flight.
+		childBuf = n.state.Children(width, sigma, childBuf[:0])
+		batch := pool.startScore(childBuf, tau, scoreBuf)
+		coverSize := cover.wait()
+		if coverSize*s.alpha <= tau {
+			stats.Duration = time.Since(start)
+			r := &Result{
+				State:     n.state,
+				Sigma:     n.state.Apply(sigma),
+				Cost:      n.cost,
+				CoverSize: coverSize,
+				DeltaP:    coverSize * s.alpha,
+				Stats:     stats,
+			}
+			// Same tie-break-by-data-distance replacement as runSeq.
+			if k := len(results); k > 0 && math.Abs(results[k-1].Cost-r.Cost) < 1e-9 {
+				results[k-1] = r
+			} else {
+				results = append(results, r)
+			}
+			if onGoal != nil {
+				onGoal(r)
+			}
+			tau = coverSize*s.alpha - 1
+			if tau < tauLow || tau < s.floor {
+				batch.discard()
+				break
+			}
+			// τ tightened underneath the speculative child scores: drop
+			// them, fan out the open-list re-estimation, and re-score the
+			// children under the new τ.
+			batch.discard()
+			if !s.Opt.BestFirst {
+				stats.GCCalls += pq.Len() + len(childBuf)
+			}
+			pool.reestimate(*pq, tau)
+			rebuilt := (*pq)[:0]
+			for _, m := range *pq {
+				if !math.IsInf(m.gc, 1) {
+					m.index = len(rebuilt)
+					rebuilt = append(rebuilt, m)
+				}
+			}
+			*pq = rebuilt
+			heap.Init(pq)
+			batch = pool.startScore(childBuf, tau, scoreBuf)
+		} else if !s.Opt.BestFirst {
+			stats.GCCalls += len(childBuf)
+		}
+		scores := batch.wait()
+		scoreBuf = scores // keep the (possibly grown) buffer for the next batch
+		stats.Generated += len(childBuf)
+		for i := range childBuf {
+			if math.IsInf(scores[i].gc, 1) {
+				continue // no goal state can descend from this child within τ
+			}
+			seq++
+			heap.Push(pq, &node{state: childBuf[i], cost: scores[i].cost, gc: scores[i].gc, seq: seq})
+		}
+	}
+	prefetch.discard()
 	stats.Duration = time.Since(start)
 	for _, r := range results {
 		r.Stats = stats

@@ -16,7 +16,7 @@ func paperSearcher(t *testing.T, heuristic bool) *Searcher {
 	t.Helper()
 	in, sigma := testkit.Paper4x4()
 	a := conflict.New(in, sigma)
-	return NewSearcher(a, weights.AttrCount{}, Options{Heuristic: heuristic})
+	return NewSearcher(a, weights.AttrCount{}, Options{BestFirst: !heuristic})
 }
 
 // TestPaperTau2 reproduces the Section 5 example: for τ=2, the minimal FD
@@ -90,8 +90,8 @@ func TestAStarMatchesBestFirst(t *testing.T) {
 		in := testkit.RandomInstance(rng, 8+rng.Intn(6), width, 2)
 		sigma := testkit.RandomFDs(rng, width, 1+rng.Intn(2), 2)
 
-		aStar := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: true})
-		bFirst := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: false})
+		aStar := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
+		bFirst := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true})
 		dp := aStar.DeltaPOriginal()
 		for _, tau := range []int{0, 1, dp / 2, dp} {
 			r1, err := aStar.Find(tau)
@@ -128,8 +128,8 @@ func TestAStarVisitsAtMostBestFirst(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		in := testkit.RandomInstance(rng, 10, 5, 2)
 		sigma := testkit.RandomFDs(rng, 5, 1, 2)
-		aStar := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: true})
-		bFirst := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: false})
+		aStar := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
+		bFirst := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true})
 		r1, _ := aStar.Find(0)
 		r2, _ := bFirst.Find(0)
 		if r1 == nil || r2 == nil {
@@ -182,7 +182,7 @@ func TestFindRangeMatchesRepeatedFind(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		in := testkit.RandomInstance(rng, 9, 4, 2)
 		sigma := testkit.RandomFDs(rng, 4, 1, 2)
-		s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: true})
+		s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
 		dp := s.DeltaPOriginal()
 		rangeRes, err := s.FindRange(0, dp)
 		if err != nil {
@@ -190,7 +190,7 @@ func TestFindRangeMatchesRepeatedFind(t *testing.T) {
 		}
 		tau := dp
 		for _, r := range rangeRes {
-			fresh := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: true})
+			fresh := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
 			single, err := fresh.Find(tau)
 			if err != nil {
 				t.Fatal(err)
@@ -215,7 +215,7 @@ func TestFindRangeRejectsInvertedRange(t *testing.T) {
 
 func TestMaxVisitedGuard(t *testing.T) {
 	in, sigma := testkit.Paper4x4()
-	s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: false, MaxVisited: 1})
+	s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true, MaxVisited: 1})
 	if _, err := s.Find(0); err == nil {
 		t.Error("MaxVisited=1 should abort a τ=0 search that needs expansion")
 	}
@@ -228,7 +228,7 @@ func TestInfeasibleTau(t *testing.T) {
 		{"1", "x"}, {"1", "y"},
 	})
 	sigma := fd.MustParseSet(in.Schema, "A->B")
-	s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: true})
+	s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
 	res, err := s.Find(0)
 	if err != nil {
 		t.Fatal(err)
@@ -275,7 +275,7 @@ func TestDistinctCountWeighting(t *testing.T) {
 	})
 	sigma := fd.MustParseSet(in.Schema, "A->B")
 	w := weights.NewDistinctCount(in)
-	s := NewSearcher(conflict.New(in, sigma), w, Options{Heuristic: true})
+	s := NewSearcher(conflict.New(in, sigma), w, Options{})
 	res, err := s.Find(0)
 	if err != nil {
 		t.Fatal(err)

@@ -39,6 +39,18 @@ type costFunc interface {
 	Marginal(cur relation.AttrSet, add int) float64
 }
 
+// fork returns a copy of the heuristic wired to a different cost function,
+// sharing the read-only configuration and matching-sample slice. The worker
+// pool gives each worker a fork over a private costCache so gc runs
+// lock-free; gc is a pure function of (state, ds, τ) given deterministic
+// weights — no map iteration influences any branch — so every fork returns
+// bit-identical bounds.
+func (h *heuristic) fork(w costFunc) *heuristic {
+	c := *h
+	c.w = w
+	return &c
+}
+
 // gc returns the lower bound for state s at threshold tau: the maximum of
 // the recursive difference-set bound (Algorithm 3) and the knapsack-cover
 // bound over the matching sample. Both are admissible, so their maximum

@@ -22,14 +22,14 @@ func TestGCAdmissibility(t *testing.T) {
 		in := testkit.RandomInstance(rng, 8+rng.Intn(8), width, 2)
 		sigma := testkit.RandomFDs(rng, width, 1+rng.Intn(2), 2)
 
-		oracle := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: false})
+		oracle := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true})
 		dp := oracle.DeltaPOriginal()
 		for _, tau := range []int{0, 1, dp / 2, dp} {
 			truth, err := oracle.Find(tau)
 			if err != nil {
 				t.Fatal(err)
 			}
-			hSearcher := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: true})
+			hSearcher := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
 			rootGC, _ := hSearcher.DiagGC(tau, nil)
 			if truth == nil {
 				continue // any gc value is fine when no goal exists
@@ -50,8 +50,8 @@ func TestGCInfinityImpliesInfeasible(t *testing.T) {
 	for trial := 0; trial < 80; trial++ {
 		in := testkit.RandomInstance(rng, 8, 4, 2)
 		sigma := testkit.RandomFDs(rng, 4, 1, 2)
-		hS := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: true})
-		oracle := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Heuristic: false})
+		hS := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
+		oracle := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true})
 		for _, tau := range []int{0, 1} {
 			rootGC, _ := hS.DiagGC(tau, nil)
 			if !math.IsInf(rootGC, 1) {

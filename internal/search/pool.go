@@ -1,0 +1,234 @@
+package search
+
+import (
+	"sync"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/relation"
+	"relatrust/internal/weights"
+)
+
+// This file implements the parallel evaluation engine behind
+// Options.Workers: a pool of worker goroutines, each owning a forked
+// conflict.Analysis (shared immutable clusters, private cover scratch), a
+// private costCache, and a private heuristic, so CoverSize and gc(S) run
+// lock-free. The engine parallelizes the three hot sections of the A* loop:
+//
+//  1. the children of a popped state are batch-scored (StateCost + gc)
+//     across the workers before being pushed;
+//  2. the goal-test CoverSize of the popped state runs on one worker while
+//     child scoring is still in flight — including, via a speculative
+//     prefetch of the predicted next pop, while the children of the
+//     previous pop are still being scored;
+//  3. after a goal tightens τ, the open-list re-estimation fans out across
+//     the workers.
+//
+// Determinism: workers only compute pure functions of (state, τ) — cover
+// queries on forked analyses and gc under memoized deterministic weights
+// return bit-identical values on every worker — and the coordinator commits
+// results in generation order with the same seq tie-breakers the sequential
+// loop would assign, so which worker finishes first never influences the
+// search. See runPar in astar.go.
+
+// lockedWeights makes one weights.Func usable from every worker: the
+// underlying implementations memoize into unsynchronized maps, so all
+// cache misses funnel through one mutex. Per-worker costCaches absorb
+// repeated lookups, keeping the lock off the steady-state path.
+type lockedWeights struct {
+	mu    sync.Mutex
+	w     weights.Func
+	cache map[relation.AttrSet]float64
+}
+
+func newLockedWeights(w weights.Func) *lockedWeights {
+	return &lockedWeights{w: w, cache: make(map[relation.AttrSet]float64)}
+}
+
+// Weight implements weights.Func.
+func (l *lockedWeights) Weight(y relation.AttrSet) float64 {
+	l.mu.Lock()
+	v, ok := l.cache[y]
+	if !ok {
+		v = l.w.Weight(y)
+		l.cache[y] = v
+	}
+	l.mu.Unlock()
+	return v
+}
+
+// Name implements weights.Func.
+func (l *lockedWeights) Name() string { return l.w.Name() }
+
+// worker holds the per-goroutine state of the pool.
+type worker struct {
+	an    *conflict.Analysis
+	h     *heuristic
+	costs *costCache
+}
+
+// evalPool runs evaluation tasks for one search call. Tasks are closures
+// over result slots owned by the submitter; the pool guarantees that after
+// the corresponding wait, all writes by the task happen-before the reader.
+type evalPool struct {
+	searcher *Searcher
+	workers  []*worker
+	tasks    chan func(*worker)
+	wg       sync.WaitGroup
+}
+
+// newEvalPool forks the searcher's analysis once per worker and starts the
+// worker goroutines. n must be >= 1.
+func newEvalPool(s *Searcher, n int) *evalPool {
+	p := &evalPool{
+		searcher: s,
+		workers:  make([]*worker, n),
+		tasks:    make(chan func(*worker), 4*n),
+	}
+	lw := newLockedWeights(s.W)
+	for i := range p.workers {
+		costs := &costCache{w: lw}
+		p.workers[i] = &worker{
+			an:    s.An.Fork(),
+			h:     s.h.fork(costs),
+			costs: costs,
+		}
+	}
+	p.wg.Add(n)
+	for i := range p.workers {
+		go func(w *worker) {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task(w)
+			}
+		}(p.workers[i])
+	}
+	return p
+}
+
+// close shuts the pool down after all submitted tasks have run and returns
+// the forked analyses to the shared pool.
+func (p *evalPool) close() {
+	close(p.tasks)
+	p.wg.Wait()
+	for _, w := range p.workers {
+		w.an.Release()
+	}
+}
+
+// coverTask is one in-flight CoverSize query.
+type coverTask struct {
+	forNode *node // the open-list node this query was started for, if any
+	ch      chan int
+}
+
+// startCover submits a CoverSize query for the state and returns without
+// waiting. forNode tags speculative prefetches with the predicted node so
+// the coordinator can match them against the actual next pop.
+func (p *evalPool) startCover(st State, forNode *node) *coverTask {
+	t := &coverTask{forNode: forNode, ch: make(chan int, 1)}
+	p.tasks <- func(w *worker) { t.ch <- w.an.CoverSize(st) }
+	return t
+}
+
+// wait blocks until the query finishes and returns the cover size.
+func (t *coverTask) wait() int { return <-t.ch }
+
+// discard waits for the query to finish and drops the result. Tasks are
+// never cancelled — workers must not outlive the buffers a task reads — so
+// a mispredicted prefetch is simply drained.
+func (t *coverTask) discard() {
+	if t != nil {
+		<-t.ch
+	}
+}
+
+// childScore is the evaluation of one candidate child state.
+type childScore struct {
+	cost float64
+	gc   float64
+}
+
+// scoreBatch is one in-flight batch evaluation of child states. Scores land
+// at the index of their state, so gathering preserves generation order no
+// matter which worker finished first.
+type scoreBatch struct {
+	states []State
+	scores []childScore
+	wg     sync.WaitGroup
+}
+
+// startScore submits one evaluation task per child under the given τ. The
+// states slice and the dst buffer (reused across batches once the previous
+// batch was waited or discarded) must stay untouched until wait or discard
+// returns; scores are written at their child's position.
+func (p *evalPool) startScore(states []State, tau int, dst []childScore) *scoreBatch {
+	if cap(dst) < len(states) {
+		dst = make([]childScore, len(states))
+	}
+	b := &scoreBatch{states: states, scores: dst[:len(states)]}
+	b.wg.Add(len(states))
+	heuristicOn := !p.searcher.Opt.BestFirst
+	ds := p.searcher.ds
+	for i := range states {
+		i := i
+		p.tasks <- func(w *worker) {
+			defer b.wg.Done()
+			cost := w.costs.StateCost(b.states[i])
+			gc := cost
+			if heuristicOn {
+				gc = w.h.gc(b.states[i], ds, tau)
+			}
+			b.scores[i] = childScore{cost: cost, gc: gc}
+		}
+	}
+	return b
+}
+
+// wait blocks until every child of the batch is scored.
+func (b *scoreBatch) wait() []childScore {
+	b.wg.Wait()
+	return b.scores
+}
+
+// discard waits for the batch and drops the scores (used when a goal
+// tightened τ underneath a speculative evaluation, or on early exit).
+func (b *scoreBatch) discard() {
+	if b != nil {
+		b.wg.Wait()
+	}
+}
+
+// reestimate recomputes gc for every open-list node under the tightened τ,
+// fanning the nodes out across the workers in contiguous chunks. Nodes keep
+// their slice positions, so the caller's sequential compaction pass visits
+// them in exactly the order the sequential engine would.
+func (p *evalPool) reestimate(nodes []*node, tau int) {
+	heuristicOn := !p.searcher.Opt.BestFirst
+	if !heuristicOn {
+		for _, m := range nodes {
+			m.gc = m.cost
+		}
+		return
+	}
+	ds := p.searcher.ds
+	chunk := (len(nodes) + 4*len(p.workers) - 1) / (4 * len(p.workers))
+	if chunk < 1 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(nodes); lo += chunk {
+		hi := lo + chunk
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		part := nodes[lo:hi]
+		wg.Add(1)
+		p.tasks <- func(w *worker) {
+			defer wg.Done()
+			for _, m := range part {
+				m.gc = w.h.gc(m.state, ds, tau)
+			}
+		}
+	}
+	wg.Wait()
+}

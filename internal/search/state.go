@@ -3,6 +3,25 @@
 // the single-parent rule so each state is reachable by exactly one path,
 // explored either best-first (cost order) or with A* guided by the
 // difference-set lower bound gc(S) (Algorithms 2 and 3).
+//
+// # Concurrency model
+//
+// With Options.Workers > 1 the engine evaluates concurrently while
+// exploring identically: each worker goroutine owns a conflict.Analysis
+// fork (shared immutable clusters and code columns, private cover
+// scratch), a private cost cache over one mutex-guarded weighting, and a
+// private heuristic, so per-state CoverSize and gc run lock-free. The
+// coordinator fans out (1) successor scoring for each popped state, (2)
+// the goal-test cover query — prefetched for the predicted next pop while
+// the previous pop's children are still being scored — and (3) open-list
+// re-estimation after a goal tightens τ.
+//
+// Determinism guarantee: results are bit-identical for every worker count.
+// Workers compute pure functions of (state, τ); the coordinator alone
+// touches the open list, commits child scores in generation order with the
+// sequential engine's seq tie-breakers, and discards (never reuses)
+// speculative work invalidated by a goal. Find, FindRange, goal order,
+// costs, cover sizes, and effort stats all match Workers: 1 exactly.
 package search
 
 import (

@@ -99,6 +99,11 @@ type Options struct {
 	Seed int64
 	// MaxVisited aborts runaway searches (0 = a large default).
 	MaxVisited int
+	// Workers sets the parallelism of the FD-modification search: successor
+	// evaluation, goal tests, and open-list re-estimation run on this many
+	// goroutines. 0 selects GOMAXPROCS; 1 forces the sequential engine.
+	// Results are identical for every setting.
+	Workers int
 }
 
 func (o Options) config(in *Instance) repair.Config {
@@ -108,7 +113,7 @@ func (o Options) config(in *Instance) repair.Config {
 	}
 	return repair.Config{
 		Weights: w,
-		Search:  search.Options{Heuristic: !o.BestFirst, MaxVisited: o.MaxVisited},
+		Search:  search.Options{BestFirst: o.BestFirst, MaxVisited: o.MaxVisited, Workers: o.Workers},
 		Seed:    o.Seed,
 	}
 }

@@ -114,6 +114,27 @@ func TestFacadeBestFirstOption(t *testing.T) {
 	if a.FDCost != b.FDCost {
 		t.Errorf("A* and best-first disagree on the optimum: %v vs %v", a.FDCost, b.FDCost)
 	}
+	// Regression: Options{BestFirst: true} with every other knob at its
+	// default used to be indistinguishable from a zero-value config and was
+	// silently rewritten to A*. The engine is observable through GCCalls —
+	// best-first never evaluates the heuristic, A* must.
+	if b.Stats.GCCalls != 0 {
+		t.Errorf("BestFirst repair reports %d gc calls; the A* heuristic ran", b.Stats.GCCalls)
+	}
+	if a.Stats.GCCalls == 0 {
+		t.Error("default (A*) repair reports 0 gc calls; best-first ran instead")
+	}
+	// The knob must also be orthogonal to Workers (it used to flip the
+	// algorithm depending on whether Workers was zero).
+	for _, workers := range []int{1, 4} {
+		c, err := relatrust.RepairWithBudget(in, sigma, 1, relatrust.Options{BestFirst: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Stats.GCCalls != 0 {
+			t.Errorf("BestFirst with Workers=%d reports %d gc calls; the A* heuristic ran", workers, c.Stats.GCCalls)
+		}
+	}
 }
 
 func TestFacadeSchemaConstruction(t *testing.T) {
