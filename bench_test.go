@@ -25,6 +25,7 @@ import (
 	"relatrust/internal/relation"
 	"relatrust/internal/repair"
 	"relatrust/internal/search"
+	"relatrust/internal/session"
 	"relatrust/internal/weights"
 )
 
@@ -242,16 +243,29 @@ func BenchmarkCoverVector(b *testing.B) {
 }
 
 // BenchmarkFDSearch measures a complete A* FD-modification search at the
-// n=10k workload, swept over the parallel engine's worker counts. The
-// searcher (conflict analysis, difference sets, heuristic) is built once:
-// the sweep isolates the search loop the Workers knob parallelizes.
-// Results are bit-identical across the sweep; only wall-clock differs.
+// n=10k workload, swept over the parallel engine's worker counts and,
+// at Workers 4, over the partition cache. The searcher (conflict
+// analysis, difference sets, heuristic) is built once: the sweep isolates
+// the search loop the Workers knob parallelizes. Results are bit-identical
+// across the entire sweep; only wall-clock and refinement effort differ —
+// the cache=on runs report their hit rate and refinement steps per search
+// as custom metrics.
 func BenchmarkFDSearch(b *testing.B) {
 	in, sigma := benchWorkload(b, 10000)
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	type cfg struct {
+		workers int
+		noCache bool
+	}
+	cfgs := []cfg{{1, false}, {2, false}, {4, false}, {4, true}, {8, false}}
+	for _, c := range cfgs {
+		name := fmt.Sprintf("workers=%d", c.workers)
+		if c.workers == 4 {
+			name = fmt.Sprintf("workers=%d/cache=%v", c.workers, !c.noCache)
+		}
+		b.Run(name, func(b *testing.B) {
 			opt := search.DefaultOptions()
-			opt.Workers = workers
+			opt.Workers = c.workers
+			opt.NoPartitionCache = c.noCache
 			s := search.NewSearcher(conflict.New(in, sigma), weights.NewDistinctCount(in), opt)
 			tau := s.DeltaPOriginal() / 10
 			b.ResetTimer()
@@ -260,7 +274,36 @@ func BenchmarkFDSearch(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			if c.workers > 1 {
+				st := s.CoverCacheStats()
+				b.ReportMetric(float64(st.RefineSteps)/float64(b.N), "refine-steps/op")
+				if !c.noCache {
+					b.ReportMetric(100*st.HitRate(), "cache-hit-%")
+				}
+			}
 		})
+	}
+}
+
+// BenchmarkSessionReuse measures acquiring a warm analysis from a session
+// engine plus one cover query — the per-iteration cost Sampling-Repair and
+// the baseline sweep pay after their first τ. Against the
+// BenchmarkConflictAnalysis baseline (a from-scratch conflict.New of the
+// same workload, ~dozens of allocs), a warm Acquire/Release cycle reuses
+// the pooled fork scratch and allocates nothing.
+func BenchmarkSessionReuse(b *testing.B) {
+	in, sigma := benchWorkload(b, 10000)
+	eng := session.New(in)
+	a := eng.Acquire(sigma) // build the root and grow the pooled scratch
+	a.CoverSize(nil)
+	eng.Release(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := eng.Acquire(sigma)
+		a.CoverSize(nil)
+		eng.Release(a)
 	}
 }
 

@@ -39,6 +39,7 @@ func run() error {
 		weighting = flag.String("weights", "distinct-count", "FD-modification weighting: attr-count | distinct-count | entropy")
 		bestFirst = flag.Bool("best-first", false, "use best-first search instead of A*")
 		workers   = flag.Int("workers", 0, "parallel evaluation workers for the FD search (0 = GOMAXPROCS, 1 = sequential)")
+		noCache   = flag.Bool("no-cover-cache", false, "disable the parallel search engine's per-worker partition cache (results are identical either way)")
 		seed      = flag.Int64("seed", 1, "seed for the randomized data-repair order")
 		outPath   = flag.String("o", "", "write the repaired data of the last printed repair to this CSV file")
 		showData  = flag.Bool("show-cells", false, "list every changed cell per repair")
@@ -74,7 +75,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opt := relatrust.Options{Weights: w, BestFirst: *bestFirst, Seed: *seed, Workers: *workers}
+	// One session serves every facade call of this run (the satisfaction
+	// check, MaxBudget, and the repair itself analyze the same instance).
+	opt := relatrust.Options{
+		Weights:          w,
+		BestFirst:        *bestFirst,
+		Seed:             *seed,
+		Workers:          *workers,
+		Session:          relatrust.NewSession(in),
+		NoPartitionCache: *noCache,
+	}
 
 	fmt.Printf("%d tuples × %d attributes, Σ = %s\n", in.N(), in.Schema.Width(), sigma.Format(in.Schema))
 	if relatrust.Satisfies(in, sigma) {

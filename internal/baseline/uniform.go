@@ -16,10 +16,10 @@ import (
 	"fmt"
 	"math"
 
-	"relatrust/internal/conflict"
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
 	"relatrust/internal/repair"
+	"relatrust/internal/session"
 	"relatrust/internal/weights"
 )
 
@@ -39,6 +39,11 @@ type Config struct {
 	// MaxRounds bounds the greedy loop (0 = |Σ|·|R|, enough to add every
 	// attribute everywhere).
 	MaxRounds int
+	// Engine, when non-nil, supplies the shared repair-session engine
+	// (bound to the repaired instance) the conflict analysis is acquired
+	// from — Best and the experiment sweeps set it so every cost-ratio run
+	// forks the same warm cluster arenas. Nil builds a private engine.
+	Engine *session.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -74,7 +79,12 @@ func Repair(in *relation.Instance, sigma fd.Set, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("baseline: empty FD set")
 	}
 	cfg = cfg.withDefaults()
-	an := conflict.New(in, sigma)
+	eng, err := session.For(cfg.Engine, in)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	an := eng.Acquire(sigma)
+	defer eng.Release(an)
 	width := in.Schema.Width()
 	alpha := width - 1
 	if len(sigma) < alpha {
@@ -160,11 +170,16 @@ func SweepConfigs(w weights.Func, seed int64) []Config {
 
 // Best runs every config and returns the result scored best by the given
 // function (higher is better), mirroring how the paper reports the
-// baseline's best achievable quality.
+// baseline's best achievable quality. Configs without an engine share one
+// engine across the sweep, so the conflict clusters are built once.
 func Best(in *relation.Instance, sigma fd.Set, cfgs []Config, score func(*Result) float64) (*Result, error) {
+	eng := session.New(in)
 	var best *Result
 	bestScore := math.Inf(-1)
 	for _, cfg := range cfgs {
+		if cfg.Engine == nil {
+			cfg.Engine = eng
+		}
 		r, err := Repair(in, sigma, cfg)
 		if err != nil {
 			return nil, err

@@ -190,8 +190,21 @@ type Violation struct {
 	CFD    int
 }
 
-// Violations enumerates violations of the set, up to max (0 = all).
+// Violations enumerates violations of the set, up to max (0 = all). Pair
+// violations are found by partitioning the pattern-matching tuples on
+// dictionary-encoded LHS codes (no string projection keys, no pair scan
+// across groups); the result is deterministic for a fixed instance — CFDs
+// in set order, single-tuple violations in tuple order, then LHS groups in
+// order of their first member (stable code-based refinement keeps members
+// in tuple order), pairs in lexicographic order within a group.
+//
+// Like every code-column consumer, this reads the instance's cached
+// dictionary codes: callers that mutate cells in place between checks must
+// call Instance.InvalidateCodes first (appends and clones are tracked
+// automatically).
 func (set Set) Violations(in *relation.Instance, max int) []Violation {
+	p := relation.NewPartitioner(in)
+	var seed []int32
 	var out []Violation
 	add := func(v Violation) bool {
 		out = append(out, v)
@@ -208,20 +221,24 @@ func (set Set) Violations(in *relation.Instance, max int) []Violation {
 				}
 			}
 		}
-		// Pair violations among matching tuples, via LHS partitioning.
-		groups := make(map[string][]int, in.N())
+		// Pair violations among matching tuples, via code-based LHS
+		// partitioning of the pattern-matching subset.
+		seed = seed[:0]
 		for t := 0; t < in.N(); t++ {
-			if !c.Matches(in.Tuples[t]) {
-				continue
+			if c.Matches(in.Tuples[t]) {
+				seed = append(seed, int32(t))
 			}
-			key := in.Project(t, c.Embedded.LHS)
-			groups[key] = append(groups[key], t)
 		}
-		for _, g := range groups {
+		p.Begin(seed)
+		p.RefineSet(c.Embedded.LHS)
+		pt := p.Partition()
+		rhs, _ := in.Codes(c.Embedded.RHS)
+		for gi := 0; gi < pt.NumGroups(); gi++ {
+			g := pt.Group(gi)
 			for i := 0; i < len(g); i++ {
 				for j := i + 1; j < len(g); j++ {
-					if !in.Tuples[g[i]][c.Embedded.RHS].Equal(in.Tuples[g[j]][c.Embedded.RHS]) {
-						if add(Violation{T1: g[i], T2: g[j], CFD: ci}) {
+					if rhs[g[i]] != rhs[g[j]] {
+						if add(Violation{T1: int(g[i]), T2: int(g[j]), CFD: ci}) {
 							return out
 						}
 					}

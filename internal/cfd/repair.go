@@ -5,10 +5,10 @@ import (
 	"math/rand"
 	"strings"
 
-	"relatrust/internal/conflict"
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
 	"relatrust/internal/search"
+	"relatrust/internal/session"
 	"relatrust/internal/weights"
 )
 
@@ -46,6 +46,11 @@ type Config struct {
 	Weights weights.Func
 	Seed    int64
 	Search  search.Options
+	// Engine, when non-nil, supplies the shared repair-session engine
+	// (bound to the repaired instance); repeated budget runs over the
+	// same CFD set then fork one filtered analysis instead of rebuilding
+	// it. Nil builds a private engine.
+	Engine *session.Engine
 }
 
 // RepairWithBudget finds the minimal relaxation of the CFD set whose
@@ -75,7 +80,15 @@ func RepairWithBudget(in *relation.Instance, set Set, tau int, cfg Config) (*Rep
 		cc := c
 		filters[i] = cc.Matches
 	}
-	an := conflict.NewFiltered(in, embedded, filters)
+	eng, err := session.For(cfg.Engine, in)
+	if err != nil {
+		return nil, fmt.Errorf("cfd: %w", err)
+	}
+	// The pattern rendering identifies the filters' semantics: two CFD
+	// sets with the same embedded FDs and the same patterns restrict the
+	// analysis to the same tuples.
+	an := eng.AcquireFiltered(embedded, filters, set.Format(in.Schema))
+	defer eng.Release(an)
 
 	singles := singleViolators(in, set)
 	alpha := in.Schema.Width() - 1
@@ -196,6 +209,9 @@ func materialize(in *relation.Instance, set Set, cover, singles []int32, seed in
 		}
 		ci.add(t)
 	}
+	// SatisfiedBy reads cached code columns, so drop any built before the
+	// in-place rewrites above (none today; this guards reordering).
+	out.InvalidateCodes()
 	if !set.SatisfiedBy(out) {
 		return nil, nil, fmt.Errorf("cfd: repair left violations; cover or singles incomplete")
 	}

@@ -1,0 +1,204 @@
+package cfd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// The seed implementation of Set.Violations grouped pattern-matching
+// tuples by concatenated string projection keys (and enumerated groups in
+// map-iteration order, so its output order was nondeterministic). The
+// oracle below reproduces it verbatim; the code-based port must enumerate
+// the same violation set and honor the max cap as a prefix of its own
+// deterministic order.
+
+func oracleViolations(set Set, in *relation.Instance, max int) []Violation {
+	var out []Violation
+	add := func(v Violation) bool {
+		out = append(out, v)
+		return max > 0 && len(out) >= max
+	}
+	for ci, c := range set {
+		if c.RHSPattern != "" {
+			for t := 0; t < in.N(); t++ {
+				if c.SingleViolation(in.Tuples[t]) {
+					if add(Violation{T1: t, T2: -1, CFD: ci}) {
+						return out
+					}
+				}
+			}
+		}
+		groups := make(map[string][]int, in.N())
+		for t := 0; t < in.N(); t++ {
+			if !c.Matches(in.Tuples[t]) {
+				continue
+			}
+			key := in.Project(t, c.Embedded.LHS)
+			groups[key] = append(groups[key], t)
+		}
+		for _, g := range groups {
+			for i := 0; i < len(g); i++ {
+				for j := i + 1; j < len(g); j++ {
+					if !in.Tuples[g[i]][c.Embedded.RHS].Equal(in.Tuples[g[j]][c.Embedded.RHS]) {
+						if add(Violation{T1: g[i], T2: g[j], CFD: ci}) {
+							return out
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// randomVInstance builds an instance over small domains with occasional
+// variable cells, exercising V-instance semantics in pattern matching
+// (variables never match a constant pattern).
+func randomVInstance(rng *rand.Rand, n, width, domain int) *relation.Instance {
+	names := make([]string, width)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	in := relation.NewInstance(relation.MustSchema(names...))
+	vg := &relation.VarGen{}
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, width)
+		for a := range t {
+			if rng.Intn(12) == 0 {
+				t[a] = vg.Fresh()
+			} else {
+				t[a] = relation.Const(string(rune('a' + rng.Intn(domain))))
+			}
+		}
+		if err := in.Append(t); err != nil {
+			panic(err)
+		}
+	}
+	return in
+}
+
+// randomCFDSet draws CFDs with random LHS patterns (over the instance's
+// domain, so patterns actually match tuples) and occasional constant RHS
+// patterns.
+func randomCFDSet(rng *rand.Rand, width, size, domain int) Set {
+	var out Set
+	for len(out) < size {
+		lhsSize := 1 + rng.Intn(2)
+		var lhs relation.AttrSet
+		for lhs.Len() < lhsSize {
+			lhs = lhs.Add(rng.Intn(width))
+		}
+		rhs := rng.Intn(width)
+		if lhs.Contains(rhs) {
+			continue
+		}
+		f, err := fd.New(lhs, rhs)
+		if err != nil {
+			continue
+		}
+		pattern := map[int]string{}
+		for _, a := range lhs.Attrs() {
+			if rng.Intn(3) == 0 {
+				pattern[a] = string(rune('a' + rng.Intn(domain)))
+			}
+		}
+		rhsPat := ""
+		if rng.Intn(4) == 0 {
+			rhsPat = string(rune('a' + rng.Intn(domain)))
+		}
+		c, err := New(f, pattern, rhsPat)
+		if err != nil {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestViolationsMatchOracle: the code-based enumeration must produce
+// exactly the oracle's violation set (compared sorted — the oracle's group
+// order was map-random), the max cap must truncate a prefix of the ported
+// deterministic order, and SatisfiedBy must agree with the oracle's
+// verdict.
+func TestViolationsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1912))
+	sortViol := func(v []Violation) {
+		sort.Slice(v, func(i, j int) bool {
+			if v[i].CFD != v[j].CFD {
+				return v[i].CFD < v[j].CFD
+			}
+			if v[i].T1 != v[j].T1 {
+				return v[i].T1 < v[j].T1
+			}
+			return v[i].T2 < v[j].T2
+		})
+	}
+	nonEmpty := 0
+	for trial := 0; trial < 250; trial++ {
+		width := 3 + rng.Intn(3)
+		domain := 2 + rng.Intn(2)
+		in := randomVInstance(rng, 4+rng.Intn(20), width, domain)
+		set := randomCFDSet(rng, width, 1+rng.Intn(3), domain)
+
+		want := oracleViolations(set, in, 0)
+		got := set.Violations(in, 0)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: oracle %d violations, got %d\nset=%s\n%s",
+				trial, len(want), len(got), set.Format(in.Schema), in)
+		}
+		if len(got) > 0 {
+			nonEmpty++
+		}
+		full := append([]Violation(nil), got...)
+		sortViol(want)
+		sortViol(got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: violation sets differ at %d: oracle %+v, got %+v\nset=%s",
+					trial, i, want[i], got[i], set.Format(in.Schema))
+			}
+		}
+		if (len(want) == 0) != set.SatisfiedBy(in) {
+			t.Fatalf("trial %d: SatisfiedBy disagrees with the enumeration", trial)
+		}
+		if len(full) > 1 {
+			capN := 1 + rng.Intn(len(full))
+			capped := set.Violations(in, capN)
+			if len(capped) != capN {
+				t.Fatalf("trial %d: cap %d returned %d violations", trial, capN, len(capped))
+			}
+			for i := range capped {
+				if capped[i] != full[i] {
+					t.Fatalf("trial %d: capped result is not a prefix of the full enumeration", trial)
+				}
+			}
+		}
+	}
+	if nonEmpty < 60 {
+		t.Fatalf("only %d trials had violations; workload too clean to be meaningful", nonEmpty)
+	}
+}
+
+// TestViolationsDeterministic pins the ported enumeration order: repeated
+// calls must return the identical sequence (the oracle's map iteration
+// made no such promise).
+func TestViolationsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		width := 3 + rng.Intn(3)
+		in := randomVInstance(rng, 10+rng.Intn(15), width, 2)
+		set := randomCFDSet(rng, width, 1+rng.Intn(2), 2)
+		first := set.Violations(in, 0)
+		for rep := 0; rep < 3; rep++ {
+			again := set.Violations(in, 0)
+			if fmt.Sprint(first) != fmt.Sprint(again) {
+				t.Fatalf("trial %d: enumeration order changed between calls", trial)
+			}
+		}
+	}
+}

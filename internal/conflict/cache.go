@@ -1,0 +1,203 @@
+package conflict
+
+// Partition caching across cover queries. Sibling states of the A* search
+// share LHS-prefix refinements: the cover query of a child state refines
+// every violation cluster by an extension set that differs from its
+// parent's in at most one position, by exactly one appended attribute. The
+// cache stores flat Partition snapshots of *whole* clusters keyed by
+// (cluster, extension-set); a query either hits the exact set, or reloads
+// the parent set's snapshot (the set minus its greatest attribute, under
+// the single-parent rule) and refines it by that one attribute, or refines
+// from scratch. Filtering out already-matched tuples happens lazily after
+// the cached partition is retrieved — the refinement of the full cluster
+// is a pure function of (cluster, extension-set), which is what makes it
+// cacheable, while the matched set varies within a single cover pass.
+//
+// Soundness of the reordering: refining the unmatched seed directly (the
+// uncached path) and refining the full cluster then dropping matched
+// tuples produce the same groups as *sets of tuples in the same relative
+// order* (refinement is stable and per-tuple independent); only the order
+// of groups within one cluster can differ, and group processing order
+// within a cluster never affects which tuples end up matched or covered —
+// groups of one cluster are disjoint, so marks made while processing one
+// group never touch another. Cover and CoverSize are therefore
+// bit-identical with the cache on or off (Cover sorts; CoverSize counts),
+// which the determinism suite pins.
+//
+// Lifecycle: caching is strictly opt-in per fork (EnableCoverCache) and
+// dropped on Release, so a recycled fork is handed out cache-free — no
+// owner inherits another's snapshots, memory profile, or counters.
+// Entries are additionally versioned by an epoch bumped on every
+// re-enable, so re-enabling a live analysis invalidates its surviving
+// snapshots instead of trusting them across runs; memory stays bounded at
+// cacheWays snapshots per cluster.
+
+import (
+	"relatrust/internal/relation"
+)
+
+// CoverStats counts cover-query refinement effort and, when the partition
+// cache is enabled, its effectiveness. Queries and RefineSteps are tracked
+// with the cache on or off, so runs are comparable; Hits/ParentHits/Misses
+// stay zero without a cache.
+type CoverStats struct {
+	// Queries counts cluster-refinement requests issued by cover, matching
+	// and edge-sampling passes.
+	Queries int64
+	// Hits counts queries answered by an exact (cluster, extension-set)
+	// snapshot — zero refinement work.
+	Hits int64
+	// ParentHits counts queries answered by refining the parent extension
+	// set's snapshot by one attribute.
+	ParentHits int64
+	// Misses counts queries refined from scratch with the cache enabled.
+	Misses int64
+	// RefineSteps counts single-attribute refinement passes executed — the
+	// quantity the cache exists to reduce.
+	RefineSteps int64
+}
+
+// Add returns the field-wise sum, for aggregating per-worker stats.
+func (s CoverStats) Add(o CoverStats) CoverStats {
+	s.Queries += o.Queries
+	s.Hits += o.Hits
+	s.ParentHits += o.ParentHits
+	s.Misses += o.Misses
+	s.RefineSteps += o.RefineSteps
+	return s
+}
+
+// HitRate returns the fraction of cached-path lookups answered without a
+// from-scratch refinement (exact hits plus one-step parent refinements).
+func (s CoverStats) HitRate() float64 {
+	n := s.Hits + s.ParentHits + s.Misses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.ParentHits) / float64(n)
+}
+
+// cacheWays is the number of snapshot slots per cluster. Slots are
+// direct-mapped by a hash of the extension set; eviction only costs future
+// hit rate, never correctness (the cache is a pure-function memo).
+const cacheWays = 4
+
+// cacheEntry is one snapshot: the flat partition of a full cluster refined
+// by the extension set y.
+type cacheEntry struct {
+	y       relation.AttrSet
+	epoch   uint64
+	used    bool
+	tuples  []int32
+	offsets []int32
+}
+
+// partCache holds the per-fork snapshots, indexed by a global cluster
+// number (base[fi]+ci) and the way of the extension set's hash.
+type partCache struct {
+	epoch   uint64
+	base    []int
+	entries []cacheEntry
+}
+
+func newPartCache(clusters [][][]int32) *partCache {
+	base := make([]int, len(clusters))
+	total := 0
+	for fi, cl := range clusters {
+		base[fi] = total
+		total += len(cl)
+	}
+	return &partCache{epoch: 1, base: base, entries: make([]cacheEntry, total*cacheWays)}
+}
+
+// way maps an extension set to its slot within a cluster's ways.
+func cacheWay(y relation.AttrSet) int {
+	return int((uint64(y) * 0x9E3779B97F4A7C15) >> 62)
+}
+
+// EnableCoverCache attaches a partition cache to the analysis (typically a
+// per-worker fork) and resets its cover statistics. Cover and CoverSize
+// results are bit-identical with or without the cache; only the refinement
+// work per query changes. Release drops the cache; re-enabling an analysis
+// that still holds one starts a fresh epoch, invalidating its surviving
+// snapshots.
+func (a *Analysis) EnableCoverCache() {
+	a.stats = CoverStats{}
+	if a.pcache != nil {
+		a.pcache.epoch++
+		return
+	}
+	a.pcache = newPartCache(a.clusters)
+}
+
+// DisableCoverCache detaches the partition cache (dropping its snapshots)
+// and resets the cover statistics.
+func (a *Analysis) DisableCoverCache() {
+	a.stats = CoverStats{}
+	a.pcache = nil
+}
+
+// CoverStats returns the refinement-effort counters accumulated since the
+// cache was last enabled or disabled (or since New, if neither happened).
+func (a *Analysis) CoverStats() CoverStats { return a.stats }
+
+// cachedRefine returns the partition of the whole cluster (fi, ci) refined
+// by the non-empty extension set y, serving it from the cache when
+// possible and storing what it computes. The returned partition aliases
+// the cache entry and stays valid until the entry's way is overwritten —
+// callers consume it (filter + split) before the next refinement request.
+func (a *Analysis) cachedRefine(fi, ci int, y relation.AttrSet) relation.Partition {
+	c := a.pcache
+	slot := (c.base[fi] + ci) * cacheWays
+	ways := c.entries[slot : slot+cacheWays : slot+cacheWays]
+	e := &ways[cacheWay(y)]
+	if e.used && e.epoch == c.epoch && e.y == y {
+		a.stats.Hits++
+		return relation.Partition{Tuples: e.tuples, Offsets: e.offsets}
+	}
+	// Under the single-parent rule a child state appends one attribute,
+	// strictly the greatest of the resulting set — so the parent state's
+	// extension for this FD is y minus its maximum, and its snapshot is
+	// hot when the coordinator pops a parent right before batch-scoring
+	// its children.
+	maxA := y.Max()
+	py := y.Remove(maxA)
+	pe := &ways[cacheWay(py)]
+	if !py.IsEmpty() && pe.used && pe.epoch == c.epoch && pe.y == py {
+		a.stats.ParentHits++
+		a.stats.RefineSteps++
+		a.part.BeginFrom(relation.Partition{Tuples: pe.tuples, Offsets: pe.offsets})
+		a.part.Refine(maxA)
+	} else {
+		a.stats.Misses++
+		a.stats.RefineSteps += int64(y.Len())
+		a.part.Begin(a.clusters[fi][ci])
+		a.part.RefineSet(y)
+	}
+	pt := a.part.Partition()
+	e.y, e.epoch, e.used = y, c.epoch, true
+	e.tuples = append(e.tuples[:0], pt.Tuples...)
+	e.offsets = append(e.offsets[:0], pt.Offsets...)
+	return relation.Partition{Tuples: e.tuples, Offsets: e.offsets}
+}
+
+// filterUnmarked projects a full-cluster partition onto the tuples not yet
+// marked in the current epoch (the lazy counterpart of the uncached path's
+// seed filtering), dropping groups that become empty. The result aliases
+// per-analysis scratch and stays valid across Split calls.
+func (a *Analysis) filterUnmarked(full relation.Partition) relation.Partition {
+	ft := a.filtTuples[:0]
+	fo := append(a.filtOffsets[:0], 0)
+	for gi := 0; gi < full.NumGroups(); gi++ {
+		for _, t := range full.Group(gi) {
+			if a.matched[t] != a.epoch {
+				ft = append(ft, t)
+			}
+		}
+		if n := int32(len(ft)); n > fo[len(fo)-1] {
+			fo = append(fo, n)
+		}
+	}
+	a.filtTuples, a.filtOffsets = ft, fo
+	return relation.Partition{Tuples: ft, Offsets: fo}
+}

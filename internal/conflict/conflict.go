@@ -32,6 +32,15 @@
 // fork's scratch to a pool shared by every fork of the same analysis, so a
 // search run that repeatedly forks (one fork per worker, per search)
 // allocates the scratch only once.
+//
+// A fork may additionally enable a partition cache (EnableCoverCache):
+// refined full-cluster partitions are memoized by (cluster,
+// extension-set) and child queries refine incrementally from their parent
+// set's snapshot — see cache.go for the design and the epoch rules that
+// keep fork recycling sound. Results are bit-identical with the cache on
+// or off. The session engine (internal/session) pools whole analyses the
+// same way across repair sessions: roots cached per FD set, forks handed
+// out and recycled.
 package conflict
 
 import (
@@ -79,6 +88,15 @@ type Analysis struct {
 	seedScratch  []int32
 	coverScratch []int32
 	matchedList  []int32 // endpoints of the pass-1 matching, in pair order
+
+	// pcache, when enabled, memoizes refined full-cluster partitions
+	// keyed by (cluster, extension-set); filtTuples/filtOffsets hold the
+	// lazily matched-filtered view handed to the match/cover passes. See
+	// cache.go.
+	pcache      *partCache
+	stats       CoverStats
+	filtTuples  []int32
+	filtOffsets []int32
 
 	// forkPool recycles released forks across the forks of one analysis,
 	// so repeated Fork/Release cycles (one per search run) reuse the
@@ -194,8 +212,14 @@ func (a *Analysis) Fork() *Analysis {
 
 // Release returns an analysis obtained from Fork to the shared pool for
 // reuse by a later Fork. The caller must not use the analysis afterwards.
+// The partition cache and its statistics are dropped: a recycled fork is
+// handed out in the same state as a fresh one — caching is strictly
+// opt-in via EnableCoverCache, never inherited from a previous owner's
+// recycling history.
 func (a *Analysis) Release() {
 	a.protected = nil
+	a.pcache = nil
+	a.stats = CoverStats{}
 	a.forkPool.Put(a)
 }
 
@@ -264,8 +288,8 @@ func (a *Analysis) cover(ext []relation.AttrSet) []int32 {
 	a.matchedList = a.matchedList[:0]
 	for fi, f := range a.Sigma {
 		y := a.extOf(ext, fi)
-		for _, g := range a.clusters[fi] {
-			matchedPairs += a.matchCluster(g, f.RHS, y)
+		for ci := range a.clusters[fi] {
+			matchedPairs += a.matchCluster(fi, ci, f.RHS, y)
 		}
 	}
 
@@ -273,8 +297,8 @@ func (a *Analysis) cover(ext []relation.AttrSet) []int32 {
 	a.coverScratch = a.coverScratch[:0]
 	for fi, f := range a.Sigma {
 		y := a.extOf(ext, fi)
-		for _, g := range a.clusters[fi] {
-			a.coverCluster(g, f.RHS, y, a.protected)
+		for ci := range a.clusters[fi] {
+			a.coverCluster(fi, ci, f.RHS, y, a.protected)
 		}
 	}
 	if len(a.coverScratch) <= 2*matchedPairs {
@@ -308,8 +332,8 @@ func (a *Analysis) MatchingSize(ext []relation.AttrSet) int {
 	pairs := 0
 	for fi, f := range a.Sigma {
 		y := a.extOf(ext, fi)
-		for _, g := range a.clusters[fi] {
-			pairs += a.matchCluster(g, f.RHS, y)
+		for ci := range a.clusters[fi] {
+			pairs += a.matchCluster(fi, ci, f.RHS, y)
 		}
 	}
 	return pairs
@@ -330,20 +354,30 @@ func (a *Analysis) PermanentMatching() int {
 	return a.MatchingSize(ext)
 }
 
-// refineGroups refines one cluster by the extension attributes y, skipping
-// tuples already marked in the current epoch. Groups come back in
+// refineGroups refines cluster (fi, ci) by the extension attributes y,
+// skipping tuples already marked in the current epoch. Groups come back in
 // deterministic (refinement encounter) order; within one cluster they are
 // disjoint, so processing order never affects which tuples end up matched
-// or covered. The result aliases the partitioner's scratch and stays valid
+// or covered. The result aliases per-analysis scratch and stays valid
 // across Split calls.
-func (a *Analysis) refineGroups(g []int32, y relation.AttrSet) relation.Partition {
+//
+// With the partition cache enabled the full cluster's refinement is served
+// from (or stored into) the cache and the matched filter is applied
+// afterwards; group order within the cluster can differ from the uncached
+// path, which by the disjointness argument above never changes any result.
+func (a *Analysis) refineGroups(fi, ci int, y relation.AttrSet) relation.Partition {
+	a.stats.Queries++
+	if a.pcache != nil && !y.IsEmpty() {
+		return a.filterUnmarked(a.cachedRefine(fi, ci, y))
+	}
 	seed := a.seedScratch[:0]
-	for _, t := range g {
+	for _, t := range a.clusters[fi][ci] {
 		if a.matched[t] != a.epoch {
 			seed = append(seed, t)
 		}
 	}
 	a.seedScratch = seed
+	a.stats.RefineSteps += int64(y.Len())
 	a.part.Begin(seed)
 	a.part.RefineSet(y)
 	return a.part.Partition()
@@ -351,8 +385,8 @@ func (a *Analysis) refineGroups(g []int32, y relation.AttrSet) relation.Partitio
 
 // matchCluster greedily matches unmatched tuples across RHS subgroups of
 // each refined group and returns the number of pairs matched.
-func (a *Analysis) matchCluster(g []int32, rhs int, y relation.AttrSet) int {
-	pt := a.refineGroups(g, y)
+func (a *Analysis) matchCluster(fi, ci int, rhs int, y relation.AttrSet) int {
+	pt := a.refineGroups(fi, ci, y)
 	pairs := 0
 	for gi := 0; gi < pt.NumGroups(); gi++ {
 		grp := pt.Group(gi)
@@ -395,8 +429,8 @@ func (a *Analysis) matchCluster(g []int32, rhs int, y relation.AttrSet) int {
 // sheltering the most protected tuples (ties broken by size, then by
 // order), so pinned tuples stay out of the cover whenever a valid cover
 // allows it.
-func (a *Analysis) coverCluster(g []int32, rhs int, y relation.AttrSet, protected func(int32) bool) {
-	pt := a.refineGroups(g, y)
+func (a *Analysis) coverCluster(fi, ci int, rhs int, y relation.AttrSet, protected func(int32) bool) {
+	pt := a.refineGroups(fi, ci, y)
 	for gi := 0; gi < pt.NumGroups(); gi++ {
 		grp := pt.Group(gi)
 		if len(grp) < 2 {
@@ -457,8 +491,8 @@ func (a *Analysis) MatchingEdgeSample(cap int) []Edge {
 	a.epoch++
 	var out []Edge
 	for fi, f := range a.Sigma {
-		for _, g := range a.clusters[fi] {
-			out = a.matchClusterEdges(g, f.RHS, out, cap)
+		for ci := range a.clusters[fi] {
+			out = a.matchClusterEdges(fi, ci, f.RHS, out, cap)
 			if cap > 0 && len(out) >= cap {
 				return out
 			}
@@ -468,8 +502,8 @@ func (a *Analysis) MatchingEdgeSample(cap int) []Edge {
 }
 
 // matchClusterEdges is matchCluster collecting the matched pairs.
-func (a *Analysis) matchClusterEdges(g []int32, rhs int, out []Edge, cap int) []Edge {
-	pt := a.refineGroups(g, 0)
+func (a *Analysis) matchClusterEdges(fi, ci int, rhs int, out []Edge, cap int) []Edge {
+	pt := a.refineGroups(fi, ci, 0)
 	for gi := 0; gi < pt.NumGroups(); gi++ {
 		grp := pt.Group(gi)
 		if len(grp) < 2 {

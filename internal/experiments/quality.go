@@ -71,6 +71,7 @@ func trustSpectrum(w *Workload, cfg Config) ([]*repair.Repair, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	defer s.Close()
 	dp0 := s.DeltaPOriginal()
 	repairs, err := s.RunRange(0, dp0)
 	if err != nil {
@@ -132,6 +133,10 @@ func Figure8(cfg Config) ([]Fig8Row, error) {
 		bestF := -1.0
 		bestCfg := ""
 		for _, bc := range baseline.SweepConfigs(wfn, cfg.Seed) {
+			// The baseline analyzes the same (instance, Σd) pair as the
+			// trust spectrum below: every sweep point forks the workload
+			// engine's one warm analysis.
+			bc.Engine = w.Engine()
 			res, err := baseline.Repair(w.Dirty, w.SigmaD, bc)
 			if err != nil {
 				return nil, err

@@ -19,6 +19,7 @@ import (
 	"relatrust/internal/relation"
 	"relatrust/internal/repair"
 	"relatrust/internal/search"
+	"relatrust/internal/session"
 	"relatrust/internal/weights"
 )
 
@@ -61,6 +62,19 @@ type Workload struct {
 	SigmaD  fd.Set             // perturbed FDs (LHS attributes removed)
 	Removed []relation.AttrSet // per FD, the removed attributes
 	Cells   []relation.CellRef // injected erroneous cells
+
+	eng *session.Engine // lazily built shared engine over Dirty
+}
+
+// Engine returns the workload's shared repair-session engine over the
+// dirty instance, so every harness run against one workload — quality
+// spectra, baseline sweeps, sampling baselines — forks the same warm
+// conflict analysis instead of rebuilding it.
+func (w *Workload) Engine() *session.Engine {
+	if w.eng == nil {
+		w.eng = session.New(w.Dirty)
+	}
+	return w.eng
 }
 
 // MakeWorkload generates a clean instance in which sigma holds exactly,
@@ -97,6 +111,7 @@ func (w *Workload) Session(heuristic bool, maxVisited int, seed int64) (*repair.
 		Weights: weights.NewDistinctCount(w.Dirty),
 		Search:  search.Options{BestFirst: !heuristic, MaxVisited: maxVisited},
 		Seed:    seed,
+		Engine:  w.Engine(),
 	})
 }
 

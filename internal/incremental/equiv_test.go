@@ -1,0 +1,174 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+	"relatrust/internal/testkit"
+)
+
+// The seed implementation keyed groups by concatenated string projections
+// and histograms by Value.Key strings. The oracle below reproduces it on
+// its own instance copy; the dictionary-code tracker must report identical
+// pair counts and per-update deltas across arbitrary update streams.
+
+type oracleTracker struct {
+	in    *relation.Instance
+	sigma fd.Set
+	fds   []*oracleFDState
+	pairs int64
+}
+
+type oracleFDState struct {
+	f      fd.FD
+	groups map[string]*oracleGroup
+	pairs  int64
+}
+
+type oracleGroup struct {
+	size   int
+	counts map[string]int
+}
+
+func newOracle(in *relation.Instance, sigma fd.Set) *oracleTracker {
+	t := &oracleTracker{in: in, sigma: sigma}
+	for _, f := range sigma {
+		st := &oracleFDState{f: f, groups: make(map[string]*oracleGroup, in.N())}
+		for ti := 0; ti < in.N(); ti++ {
+			st.addTuple(in, ti)
+		}
+		t.fds = append(t.fds, st)
+		t.pairs += st.pairs
+	}
+	return t
+}
+
+func (t *oracleTracker) set(tuple, attr int, v relation.Value) int64 {
+	old := t.in.Tuples[tuple][attr]
+	if old.Equal(v) {
+		return 0
+	}
+	before := t.pairs
+	for _, st := range t.fds {
+		if st.f.LHS.Contains(attr) || st.f.RHS == attr {
+			t.pairs -= st.pairs
+			st.removeTuple(t.in, tuple)
+		}
+	}
+	t.in.Tuples[tuple][attr] = v
+	t.in.InvalidateCodes()
+	for _, st := range t.fds {
+		if st.f.LHS.Contains(attr) || st.f.RHS == attr {
+			st.addTuple(t.in, tuple)
+			t.pairs += st.pairs
+		}
+	}
+	return t.pairs - before
+}
+
+func (st *oracleFDState) addTuple(in *relation.Instance, ti int) {
+	key := in.Project(ti, st.f.LHS)
+	g, ok := st.groups[key]
+	if !ok {
+		g = &oracleGroup{counts: make(map[string]int, 2)}
+		st.groups[key] = g
+	}
+	st.pairs -= g.pairs()
+	g.size++
+	g.counts[in.Tuples[ti][st.f.RHS].Key()]++
+	st.pairs += g.pairs()
+}
+
+func (st *oracleFDState) removeTuple(in *relation.Instance, ti int) {
+	key := in.Project(ti, st.f.LHS)
+	g := st.groups[key]
+	if g == nil {
+		return
+	}
+	st.pairs -= g.pairs()
+	g.size--
+	rk := in.Tuples[ti][st.f.RHS].Key()
+	if g.counts[rk]--; g.counts[rk] == 0 {
+		delete(g.counts, rk)
+	}
+	if g.size == 0 {
+		delete(st.groups, key)
+		return
+	}
+	st.pairs += g.pairs()
+}
+
+func (g *oracleGroup) pairs() int64 {
+	if len(g.counts) < 2 {
+		return 0
+	}
+	s := int64(g.size)
+	var sq int64
+	for _, c := range g.counts {
+		sq += int64(c) * int64(c)
+	}
+	return (s*s - sq) / 2
+}
+
+// TestTrackerMatchesStringKeyedOracle drives both trackers through the
+// same random update stream — constants from a small domain plus
+// occasional fresh and repeated variables — and asserts identical total
+// pairs, per-FD pairs, and per-update deltas at every step.
+func TestTrackerMatchesStringKeyedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 60; trial++ {
+		width := 3 + rng.Intn(3)
+		n := 6 + rng.Intn(20)
+		in := testkit.RandomInstance(rng, n, width, 2+rng.Intn(2))
+		sigma := testkit.RandomFDs(rng, width, 1+rng.Intn(3), 2)
+
+		tracker := New(in.Clone(), sigma)
+		oracle := newOracle(in.Clone(), sigma)
+		if tracker.ViolatingPairs() != oracle.pairs {
+			t.Fatalf("trial %d: initial pairs %d != oracle %d", trial, tracker.ViolatingPairs(), oracle.pairs)
+		}
+
+		vg := &relation.VarGen{}
+		var reusable relation.Value
+		for step := 0; step < 40; step++ {
+			ti := rng.Intn(n)
+			attr := rng.Intn(width)
+			var v relation.Value
+			switch rng.Intn(8) {
+			case 0:
+				v = vg.Fresh()
+				reusable = v
+			case 1:
+				if reusable == (relation.Value{}) {
+					reusable = vg.Fresh()
+				}
+				v = reusable
+			default:
+				v = relation.Const(string(rune('a' + rng.Intn(3))))
+			}
+			delta, err := tracker.Set(ti, attr, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDelta := oracle.set(ti, attr, v)
+			if delta != wantDelta {
+				t.Fatalf("trial %d step %d: delta %d != oracle %d (set t%d a%d)",
+					trial, step, delta, wantDelta, ti, attr)
+			}
+			if tracker.ViolatingPairs() != oracle.pairs {
+				t.Fatalf("trial %d step %d: pairs %d != oracle %d", trial, step, tracker.ViolatingPairs(), oracle.pairs)
+			}
+			perFD := tracker.PairsPerFD()
+			for i, st := range oracle.fds {
+				if perFD[i] != st.pairs {
+					t.Fatalf("trial %d step %d: FD %d pairs %d != oracle %d", trial, step, i, perFD[i], st.pairs)
+				}
+			}
+			if tracker.Satisfied() != (oracle.pairs == 0) {
+				t.Fatalf("trial %d step %d: Satisfied disagrees with the oracle", trial, step)
+			}
+		}
+	}
+}

@@ -12,6 +12,17 @@
 // A cell update moves its tuple between at most two groups per FD whose
 // LHS contains the attribute, and shifts one histogram entry per FD whose
 // RHS is the attribute.
+//
+// Groups and histograms are keyed by tracker-private dictionary codes
+// (relation.ProjCoder for LHS projections, per-attribute relation.Dict for
+// RHS values) rather than concatenated string keys. The instance's cached
+// code *columns* would be the wrong tool here — every Set invalidates
+// them, and rebuilding a column is O(n) where the tracker's whole point is
+// O(touched) updates — but the incremental coders intern values as they
+// appear and never need invalidation: a re-coded tuple reflects its
+// current cells. Their memory grows with the number of distinct values
+// (and LHS projections) ever observed across the update stream, the same
+// asymptotics the string keys had.
 package incremental
 
 import (
@@ -32,20 +43,30 @@ type Tracker struct {
 
 type fdState struct {
 	f      fd.FD
-	groups map[string]*group // LHS key -> group
+	coder  *relation.ProjCoder // interns LHS projections to group keys
+	rhs    *relation.Dict      // interns RHS values to histogram keys
+	groups map[int32]*group    // LHS projection code -> group
 	pairs  int64
 }
 
 type group struct {
 	size   int
-	counts map[string]int // RHS value key -> multiplicity
+	counts map[int32]int // RHS value code -> multiplicity
 }
 
 // New builds the tracker in O(|Σ|·n).
 func New(in *relation.Instance, sigma fd.Set) *Tracker {
 	t := &Tracker{in: in, sigma: sigma}
+	// The per-attribute dictionaries are shared across the FDs' coders, so
+	// a value interned once serves every projection containing it.
+	dicts := relation.NewDicts(in.Schema.Width())
 	for _, f := range sigma {
-		st := &fdState{f: f, groups: make(map[string]*group, in.N())}
+		st := &fdState{
+			f:      f,
+			coder:  relation.NewProjCoder(f.LHS, dicts),
+			rhs:    dicts[f.RHS],
+			groups: make(map[int32]*group, in.N()),
+		}
 		for ti := 0; ti < in.N(); ti++ {
 			st.addTuple(in, ti)
 		}
@@ -114,29 +135,30 @@ func (t *Tracker) Set(tuple, attr int, v relation.Value) (delta int64, err error
 
 // addTuple registers tuple ti with the FD's partition.
 func (st *fdState) addTuple(in *relation.Instance, ti int) {
-	key := in.Project(ti, st.f.LHS)
+	key := st.coder.Code(in.Tuples[ti])
 	g, ok := st.groups[key]
 	if !ok {
-		g = &group{counts: make(map[string]int, 2)}
+		g = &group{counts: make(map[int32]int, 2)}
 		st.groups[key] = g
 	}
 	st.pairs -= g.pairs()
 	g.size++
-	g.counts[in.Tuples[ti][st.f.RHS].Key()]++
+	g.counts[st.rhs.Code(in.Tuples[ti][st.f.RHS])]++
 	st.pairs += g.pairs()
 }
 
 // removeTuple unregisters tuple ti (whose cells must still hold the values
-// it was registered with).
+// it was registered with — coding them again finds the key addTuple
+// interned).
 func (st *fdState) removeTuple(in *relation.Instance, ti int) {
-	key := in.Project(ti, st.f.LHS)
+	key := st.coder.Code(in.Tuples[ti])
 	g := st.groups[key]
 	if g == nil {
 		return
 	}
 	st.pairs -= g.pairs()
 	g.size--
-	rk := in.Tuples[ti][st.f.RHS].Key()
+	rk := st.rhs.Code(in.Tuples[ti][st.f.RHS])
 	if g.counts[rk]--; g.counts[rk] == 0 {
 		delete(g.counts, rk)
 	}

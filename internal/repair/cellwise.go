@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
-	"relatrust/internal/conflict"
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
+	"relatrust/internal/session"
 )
 
 // RepairDataCellwise is the cell-by-cell repair variant in the style of
@@ -26,8 +26,10 @@ import (
 // benchmarks.
 func RepairDataCellwise(in *relation.Instance, sigma fd.Set, cover []int32, seed int64) (*DataRepair, error) {
 	if cover == nil {
-		an := conflict.New(in, sigma)
+		eng := session.New(in)
+		an := eng.Acquire(sigma)
 		cover = an.Cover(nil)
+		eng.Release(an)
 	}
 	out := in.Clone()
 	rng := rand.New(rand.NewSource(seed))

@@ -9,9 +9,9 @@ import (
 	"fmt"
 	"math/rand"
 
-	"relatrust/internal/conflict"
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
+	"relatrust/internal/session"
 )
 
 // DataRepair is the result of Repair_Data: a V-instance satisfying the
@@ -37,8 +37,10 @@ func (d *DataRepair) NumChanges() int { return len(d.Changed) }
 // prescribes; fixed seeds give reproducible repairs.
 func RepairData(in *relation.Instance, sigma fd.Set, cover []int32, seed int64) (*DataRepair, error) {
 	if cover == nil {
-		an := conflict.New(in, sigma)
+		eng := session.New(in)
+		an := eng.Acquire(sigma)
 		cover = an.Cover(nil)
+		eng.Release(an)
 	}
 	out := in.Clone()
 	rng := rand.New(rand.NewSource(seed))

@@ -8,15 +8,18 @@ import (
 
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
+	"relatrust/internal/session"
 )
 
 // RunSamplingParallel is the parallel form of the Sampling-Repair baseline
 // that Section 7 of the paper notes is trivial ("this can be easily
-// parallelized, but may be inefficient"): one worker per τ sample, each
-// with its own session, since the conflict analysis keeps per-search
-// scratch state. Results are deduplicated by FD modification and returned
-// in descending-τ order, matching RunSampling's output for the same τ
-// list. workers ≤ 0 selects GOMAXPROCS.
+// parallelized, but may be inefficient"): one worker per τ sample. The
+// workers share one session engine — the first session builds the
+// conflict clusters, every later Acquire forks them with private scratch —
+// so the per-τ sessions pay the analysis once instead of once per τ.
+// Results are deduplicated by FD modification and returned in
+// descending-τ order, matching RunSampling's output for the same τ list.
+// workers ≤ 0 selects GOMAXPROCS.
 func RunSamplingParallel(in *relation.Instance, sigma fd.Set, taus []int, cfg Config, workers int) ([]*Repair, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,6 +30,11 @@ func RunSamplingParallel(in *relation.Instance, sigma fd.Set, taus []int, cfg Co
 	if workers == 0 {
 		return nil, nil
 	}
+	eng, err := session.For(cfg.Engine, in)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	cfg.Engine = eng
 
 	type slot struct {
 		rep *Repair
@@ -47,6 +55,7 @@ func RunSamplingParallel(in *relation.Instance, sigma fd.Set, taus []int, cfg Co
 					continue
 				}
 				r, err := s.Run(taus[i])
+				s.Close()
 				results[i] = slot{rep: r, err: err}
 			}
 		}()

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
-	"relatrust/internal/conflict"
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
+	"relatrust/internal/session"
 )
 
 // RepairDataPinned is Repair_Data under hard constraints in the spirit of
@@ -21,7 +21,8 @@ import (
 // Pinning also constrains the vertex cover: a conflict edge between two
 // fully-pinned tuples cannot be repaired at all.
 func RepairDataPinned(in *relation.Instance, sigma fd.Set, pinned map[relation.CellRef]bool, seed int64) (*DataRepair, error) {
-	an := conflict.New(in, sigma)
+	eng := session.New(in)
+	an := eng.Acquire(sigma)
 	hasPin := make(map[int32]bool)
 	for c := range pinned {
 		if pinned[c] {
@@ -29,6 +30,7 @@ func RepairDataPinned(in *relation.Instance, sigma fd.Set, pinned map[relation.C
 		}
 	}
 	cover := an.CoverAvoiding(nil, func(t int32) bool { return hasPin[t] })
+	eng.Release(an)
 	out := in.Clone()
 	rng := rand.New(rand.NewSource(seed))
 	var vg relation.VarGen

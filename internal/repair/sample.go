@@ -5,9 +5,9 @@ import (
 	"sort"
 	"strings"
 
-	"relatrust/internal/conflict"
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
+	"relatrust/internal/session"
 )
 
 // SampleDataRepairs generates up to k distinct data repairs of in with
@@ -22,18 +22,25 @@ import (
 // then deterministically.
 //
 // maxTries bounds the seeds attempted (0 means 8·k). Fewer than k repairs
-// are returned when the repair space is smaller than requested.
-func SampleDataRepairs(in *relation.Instance, sigma fd.Set, k int, seed int64, maxTries int) ([]*DataRepair, error) {
+// are returned when the repair space is smaller than requested. A non-nil
+// eng shares its warm analysis arenas (it must be bound to in); nil uses a
+// private engine.
+func SampleDataRepairs(in *relation.Instance, sigma fd.Set, k int, seed int64, maxTries int, eng *session.Engine) ([]*DataRepair, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("repair: sample size %d must be positive", k)
 	}
 	if maxTries <= 0 {
 		maxTries = 8 * k
 	}
+	eng, err := session.For(eng, in)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
 	// One shared cover keeps the samples comparable: the variety comes
 	// from the repair order, not from re-running the matching.
-	an := conflict.New(in, sigma)
+	an := eng.Acquire(sigma)
 	cover := an.Cover(nil)
+	eng.Release(an)
 
 	seen := make(map[string]bool, k)
 	var out []*DataRepair

@@ -44,6 +44,14 @@ type Options struct {
 	// engine; <= 0 selects GOMAXPROCS. Results are bit-identical for every
 	// worker count.
 	Workers int
+	// NoPartitionCache disables the per-worker partition cache of the
+	// parallel engine. By default each worker's forked analysis memoizes
+	// refined cluster partitions keyed by (cluster, extension-set) and
+	// refines a child state's cover query incrementally from its parent's
+	// snapshot; results are bit-identical either way (the cache is a
+	// pure-function memo), so the knob exists for memory-constrained runs
+	// and for measuring the cache's effect.
+	NoPartitionCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +114,10 @@ type Searcher struct {
 	ds    []conflict.DiffSet
 	h     *heuristic
 	costs *costCache
+
+	// coverStats accumulates the workers' partition-cache counters across
+	// the parallel runs of this searcher (see CoverCacheStats).
+	coverStats conflict.CoverStats
 }
 
 // NewSearcher prepares a searcher: collects difference sets once and wires
@@ -151,6 +163,15 @@ func (s *Searcher) DeltaPOriginal() int { return s.alpha * s.An.CoverSize(nil) }
 
 // DiffSetCount reports how many distinct difference sets were collected.
 func (s *Searcher) DiffSetCount() int { return len(s.ds) }
+
+// CoverCacheStats returns the aggregated cover-query refinement counters
+// of the parallel engine's workers, summed over every search run on this
+// searcher since construction. With the partition cache enabled, Hits and
+// ParentHits measure how many cluster refinements were answered from (or
+// incrementally off) cached parent-state partitions; RefineSteps is the
+// work that remained. Zero-valued while only the sequential engine has
+// run.
+func (s *Searcher) CoverCacheStats() conflict.CoverStats { return s.coverStats }
 
 // FeasibilityFloor returns the smallest τ for which any repair can exist:
 // α times a maximal matching over conflict edges that no LHS extension

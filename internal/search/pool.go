@@ -87,8 +87,18 @@ func newEvalPool(s *Searcher, n int) *evalPool {
 	lw := newLockedWeights(s.W)
 	for i := range p.workers {
 		costs := &costCache{w: lw}
+		an := s.An.Fork()
+		// Each worker's fork carries its own partition cache — no locks,
+		// dropped again when the fork is released. Both branches reset the
+		// fork's cover stats, so close() aggregates this pool's effort
+		// only.
+		if s.Opt.NoPartitionCache {
+			an.DisableCoverCache()
+		} else {
+			an.EnableCoverCache()
+		}
 		p.workers[i] = &worker{
-			an:    s.An.Fork(),
+			an:    an,
 			h:     s.h.fork(costs),
 			costs: costs,
 		}
@@ -105,12 +115,14 @@ func newEvalPool(s *Searcher, n int) *evalPool {
 	return p
 }
 
-// close shuts the pool down after all submitted tasks have run and returns
-// the forked analyses to the shared pool.
+// close shuts the pool down after all submitted tasks have run, folds the
+// workers' cover-query counters into the searcher, and returns the forked
+// analyses to the shared pool.
 func (p *evalPool) close() {
 	close(p.tasks)
 	p.wg.Wait()
 	for _, w := range p.workers {
+		p.searcher.coverStats = p.searcher.coverStats.Add(w.an.CoverStats())
 		w.an.Release()
 	}
 }

@@ -10,11 +10,17 @@
 // exploring identically: each worker goroutine owns a conflict.Analysis
 // fork (shared immutable clusters and code columns, private cover
 // scratch), a private cost cache over one mutex-guarded weighting, and a
-// private heuristic, so per-state CoverSize and gc run lock-free. The
-// coordinator fans out (1) successor scoring for each popped state, (2)
-// the goal-test cover query — prefetched for the predicted next pop while
-// the previous pop's children are still being scored — and (3) open-list
-// re-estimation after a goal tightens τ.
+// private heuristic, so per-state CoverSize and gc run lock-free. Each
+// fork also carries a private partition cache (unless
+// Options.NoPartitionCache): cover queries memoize refined cluster
+// partitions by (cluster, extension-set), and — because the coordinator
+// pops a parent before scoring its children, and a child extends exactly
+// one position by one attribute under the single-parent rule — a child's
+// query usually refines one step off the parent's hot snapshot instead of
+// from scratch. The coordinator fans out (1) successor scoring for each
+// popped state, (2) the goal-test cover query — prefetched for the
+// predicted next pop while the previous pop's children are still being
+// scored — and (3) open-list re-estimation after a goal tightens τ.
 //
 // Determinism guarantee: results are bit-identical for every worker count.
 // Workers compute pure functions of (state, τ); the coordinator alone

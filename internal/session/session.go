@@ -1,0 +1,164 @@
+// Package session provides the shared repair-session engine: the single
+// construction path for conflict analyses across the repair, baseline, cfd
+// and search layers.
+//
+// The repair system repeatedly re-analyzes the *same* instance under the
+// same Σ — per τ in Sampling-Repair, per cost ratio in the uniform-cost
+// baseline sweep, per facade call in a CLI run. Building a fresh
+// conflict.Analysis each time pays the full cluster construction
+// (O(|Σ|·n) work and ~dozens of allocations for arenas and scratch) for
+// state that is immutable after New. An Engine builds one root analysis
+// per distinct FD set and serves every subsequent request a Fork of it:
+// forks share the instance, its dictionary-code columns and the cluster
+// arenas, own private cover scratch, and are recycled through the root's
+// fork pool on Release — so a warm Acquire/Release cycle allocates
+// nothing.
+//
+// # Ownership and lifecycle
+//
+// An Engine is bound to one relation.Instance, which must not be mutated
+// while the engine is in use (the cached roots alias its tuples and code
+// columns; this is the same contract conflict.New already imposes, now
+// held for the engine's lifetime). Roots are cached forever — an engine's
+// memory is proportional to the number of distinct FD sets analyzed
+// through it, which in practice is one or two.
+//
+// Acquire and Release are safe for concurrent use: the root map is
+// mutex-guarded (the first acquirer of a set builds the root while
+// concurrent acquirers of the same set wait, then fork), and forking and
+// releasing go through the root's sync.Pool. Each *acquired analysis* is
+// single-goroutine, exactly like one obtained from conflict.New; after
+// Release the caller must not touch it — the scratch is handed to the next
+// Acquire, and any enabled partition cache is dropped so no snapshot,
+// memory profile, or counter leaks from one owner to the next (see
+// conflict.EnableCoverCache).
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// Engine owns one instance and the cached root analyses built against it.
+type Engine struct {
+	// In is the analyzed instance. It must not be mutated while the
+	// engine is in use.
+	In *relation.Instance
+
+	mu       sync.Mutex
+	roots    []rootEntry
+	acquires int64
+	builds   int64
+}
+
+// rootEntry is one cached root: identified by its FD set (compared
+// element-wise, so the warm Acquire path allocates nothing) plus, for
+// filtered analyses, the caller-supplied filter key. An engine typically
+// holds one or two roots, so a linear scan beats any keyed structure.
+type rootEntry struct {
+	sigma     fd.Set
+	filterKey string
+	root      *conflict.Analysis
+}
+
+// New returns an engine over the instance.
+func New(in *relation.Instance) *Engine {
+	return &Engine{In: in}
+}
+
+// For returns eng unchanged when non-nil, or a fresh single-use engine
+// over the instance — the idiom of entry points whose configuration makes
+// the shared engine optional. A non-nil engine must have been built over
+// the same instance; the mismatch is reported as an error because a cached
+// root of a different instance would silently answer every query about the
+// wrong data.
+func For(eng *Engine, in *relation.Instance) (*Engine, error) {
+	if eng == nil {
+		return New(in), nil
+	}
+	if eng.In != in {
+		return nil, fmt.Errorf("session: engine is bound to a different instance")
+	}
+	return eng, nil
+}
+
+// Acquire returns an analysis of the engine's instance against sigma,
+// forked from a root built once per distinct FD set. The caller owns the
+// returned analysis until Release; it answers exactly the queries — with
+// byte-identical results — of conflict.New(e.In, sigma). A warm Acquire
+// (root cached, fork pool non-empty) allocates nothing.
+func (e *Engine) Acquire(sigma fd.Set) *conflict.Analysis {
+	return e.acquire(sigma, "", func() *conflict.Analysis {
+		return conflict.New(e.In, sigma)
+	})
+}
+
+// AcquireFiltered is Acquire for filtered analyses (conditional
+// constraints restrict each FD to its pattern-matching tuples). Filters
+// are opaque functions, so the caller must supply the non-empty cache key
+// that identifies their semantics — for CFDs, a rendering of the full set
+// including patterns. An empty key disables root caching: the analysis is
+// built fresh (still through the engine, so construction stays on the one
+// path), and Release simply retires it.
+func (e *Engine) AcquireFiltered(sigma fd.Set, filters []func(relation.Tuple) bool, key string) *conflict.Analysis {
+	build := func() *conflict.Analysis { return conflict.NewFiltered(e.In, sigma, filters) }
+	if key == "" {
+		e.mu.Lock()
+		e.acquires++
+		e.builds++
+		e.mu.Unlock()
+		return build()
+	}
+	return e.acquire(sigma, key, build)
+}
+
+// acquire returns a fork of the root cached under (sigma, filterKey),
+// building the root on first use. Concurrent acquirers of the same set
+// wait for the first build, then fork it.
+func (e *Engine) acquire(sigma fd.Set, filterKey string, build func() *conflict.Analysis) *conflict.Analysis {
+	e.mu.Lock()
+	e.acquires++
+	var root *conflict.Analysis
+	for i := range e.roots {
+		r := &e.roots[i]
+		if r.filterKey == filterKey && r.sigma.Equal(sigma) {
+			root = r.root
+			break
+		}
+	}
+	if root == nil {
+		e.builds++
+		root = build()
+		e.roots = append(e.roots, rootEntry{sigma: sigma.Clone(), filterKey: filterKey, root: root})
+	}
+	e.mu.Unlock()
+	return root.Fork()
+}
+
+// Release returns an acquired analysis to its root's pool for reuse by a
+// later Acquire. The caller must not use the analysis afterwards. A nil
+// analysis is ignored.
+func (e *Engine) Release(a *conflict.Analysis) {
+	if a != nil {
+		a.Release()
+	}
+}
+
+// Stats reports engine effort: how many analyses were handed out and how
+// many required a from-scratch cluster build. Acquires−Builds is the
+// number of constructions the engine avoided.
+type Stats struct {
+	Acquires int64
+	Builds   int64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Acquires: e.acquires, Builds: e.builds}
+}

@@ -34,6 +34,7 @@ import (
 	"relatrust/internal/relation"
 	"relatrust/internal/repair"
 	"relatrust/internal/search"
+	"relatrust/internal/session"
 	"relatrust/internal/weights"
 )
 
@@ -87,6 +88,23 @@ func ParseFD(s *Schema, spec string) (FD, error) { return fd.Parse(s, spec) }
 // expands to one FD per RHS attribute.
 func ParseFDs(s *Schema, specs string) (FDSet, error) { return fd.ParseSet(s, specs) }
 
+// Session shares one repair-session engine — the conflict-analysis
+// cluster arenas, dictionary-code columns, and pooled scratch of one
+// instance — across facade calls. Create one per instance and pass it via
+// Options.Session when issuing several repair calls over the same data
+// (a budget sweep, MaxBudget followed by SuggestRepairs, repeated
+// sampling): every call after the first forks the warm analysis instead
+// of re-scanning the instance. The instance must not be mutated while the
+// session is in use. Sessions are safe for concurrent use.
+type Session struct {
+	eng *session.Engine
+}
+
+// NewSession returns a session over the instance.
+func NewSession(in *Instance) *Session {
+	return &Session{eng: session.New(in)}
+}
+
 // Options tunes the repair entry points.
 type Options struct {
 	// Weights prices LHS extensions. Nil selects DistinctCountWeights on
@@ -104,6 +122,14 @@ type Options struct {
 	// goroutines. 0 selects GOMAXPROCS; 1 forces the sequential engine.
 	// Results are identical for every setting.
 	Workers int
+	// Session, when non-nil, shares analysis state across calls over the
+	// same instance (see NewSession). Nil gives every call a private
+	// engine.
+	Session *Session
+	// NoPartitionCache disables the parallel search engine's per-worker
+	// partition cache. Results are identical either way; the knob exists
+	// for memory-constrained runs and measurements.
+	NoPartitionCache bool
 }
 
 func (o Options) config(in *Instance) repair.Config {
@@ -113,9 +139,23 @@ func (o Options) config(in *Instance) repair.Config {
 	}
 	return repair.Config{
 		Weights: w,
-		Search:  search.Options{BestFirst: o.BestFirst, MaxVisited: o.MaxVisited, Workers: o.Workers},
-		Seed:    o.Seed,
+		Search: search.Options{
+			BestFirst:        o.BestFirst,
+			MaxVisited:       o.MaxVisited,
+			Workers:          o.Workers,
+			NoPartitionCache: o.NoPartitionCache,
+		},
+		Seed:   o.Seed,
+		Engine: o.engine(),
 	}
+}
+
+// engine returns the session engine selected by the options, or nil.
+func (o Options) engine() *session.Engine {
+	if o.Session == nil {
+		return nil
+	}
+	return o.Session.eng
 }
 
 // AttrCountWeights prices an extension by its number of attributes.
@@ -150,6 +190,7 @@ func SuggestRepairs(in *Instance, sigma FDSet, opt Options) ([]*Repair, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close()
 	return s.RunRange(0, s.DeltaPOriginal())
 }
 
@@ -159,6 +200,7 @@ func SuggestRepairsInRange(in *Instance, sigma FDSet, tauLow, tauHigh int, opt O
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close()
 	return s.RunRange(tauLow, tauHigh)
 }
 
@@ -170,6 +212,7 @@ func MaxBudget(in *Instance, sigma FDSet, opt Options) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer s.Close()
 	return s.DeltaPOriginal(), nil
 }
 
@@ -177,7 +220,7 @@ func MaxBudget(in *Instance, sigma FDSet, opt Options) (int, error) {
 // (no FD modification), exposing the different minimal ways the
 // violations can be resolved; see the paper's reference [3].
 func SampleRepairs(in *Instance, sigma FDSet, k int, opt Options) ([]*repair.DataRepair, error) {
-	return repair.SampleDataRepairs(in, sigma, k, opt.Seed, 0)
+	return repair.SampleDataRepairs(in, sigma, k, opt.Seed, 0, opt.engine())
 }
 
 // RepairDataOnly materializes a data repair for a fixed FD set without

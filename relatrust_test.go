@@ -161,3 +161,56 @@ func TestFacadeSchemaConstruction(t *testing.T) {
 		t.Errorf("CSV output %q", sb.String())
 	}
 }
+
+// TestFacadeSharedSession: repeated facade calls through one
+// Options.Session must return exactly what independent calls return —
+// the shared engine reuses warm analysis arenas without changing any
+// result — and sampling through the same session must stay valid.
+func TestFacadeSharedSession(t *testing.T) {
+	in, sigma := load(t)
+	sess := relatrust.NewSession(in)
+	shared := relatrust.Options{Seed: 1, Session: sess}
+
+	dpFresh, err := relatrust.MaxBudget(in, sigma, relatrust.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpShared, err := relatrust.MaxBudget(in, sigma, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpFresh != dpShared {
+		t.Fatalf("MaxBudget with shared session = %d, fresh = %d", dpShared, dpFresh)
+	}
+
+	fresh, err := relatrust.SuggestRepairs(in, sigma, relatrust.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		got, err := relatrust.SuggestRepairs(in, sigma, shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(fresh) {
+			t.Fatalf("round %d: %d repairs via shared session, %d fresh", round, len(got), len(fresh))
+		}
+		for i := range got {
+			if got[i].FDCost != fresh[i].FDCost || got[i].DeltaP != fresh[i].DeltaP ||
+				got[i].Data.NumChanges() != fresh[i].Data.NumChanges() ||
+				!got[i].Sigma.Equal(fresh[i].Sigma) {
+				t.Fatalf("round %d repair %d diverges: shared %v, fresh %v", round, i, got[i], fresh[i])
+			}
+		}
+	}
+
+	samples, err := relatrust.SampleRepairs(in, sigma, 2, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !relatrust.Satisfies(s.Instance, sigma) {
+			t.Fatal("sampled repair via shared session violates Σ")
+		}
+	}
+}
