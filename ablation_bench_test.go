@@ -7,6 +7,7 @@ package relatrust_test
 // chosen default.
 
 import (
+	"context"
 	"testing"
 
 	"relatrust/internal/conflict"
@@ -42,7 +43,7 @@ func BenchmarkAblationHeuristicBudget(b *testing.B) {
 				s := search.NewSearcher(an, weights.NewDistinctCount(w.Dirty), search.Options{
 					MaxDiffSets: maxDs,
 				})
-				res, err := s.Find(s.DeltaPOriginal() / 100)
+				res, err := s.Find(context.Background(), s.DeltaPOriginal() / 100)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -67,7 +68,7 @@ func BenchmarkAblationEdgeSampling(b *testing.B) {
 				s := search.NewSearcher(an, weights.NewDistinctCount(w.Dirty), search.Options{
 					CapPerCluster: cap,
 				})
-				res, err := s.Find(s.DeltaPOriginal() / 100)
+				res, err := s.Find(context.Background(), s.DeltaPOriginal() / 100)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -94,7 +95,7 @@ func BenchmarkAblationWeights(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				an := conflict.New(w.Dirty, w.SigmaD)
 				s := search.NewSearcher(an, mk(), search.DefaultOptions())
-				if _, err := s.Find(s.DeltaPOriginal() / 100); err != nil {
+				if _, err := s.Find(context.Background(), s.DeltaPOriginal() / 100); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -109,7 +110,7 @@ func BenchmarkAblationRepairStrategy(b *testing.B) {
 	w := ablationWorkload(b)
 	b.Run("tuple-wise", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rep, err := repair.RepairData(w.Dirty, w.SigmaD, nil, int64(i))
+			rep, err := repair.RepairData(w.Dirty, w.SigmaD, nil, int64(i), nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -118,7 +119,7 @@ func BenchmarkAblationRepairStrategy(b *testing.B) {
 	})
 	b.Run("cell-wise", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rep, err := repair.RepairDataCellwise(w.Dirty, w.SigmaD, nil, int64(i))
+			rep, err := repair.RepairDataCellwise(w.Dirty, w.SigmaD, nil, int64(i), nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -141,14 +142,14 @@ func BenchmarkAblationParallelSampling(b *testing.B) {
 	cfg := repair.Config{Weights: weights.NewDistinctCount(w.Dirty), Seed: 42}
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := repair.RunSampling(w.Dirty, w.SigmaD, taus, cfg); err != nil {
+			if _, err := repair.RunSampling(context.Background(), w.Dirty, w.SigmaD, taus, cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := repair.RunSamplingParallel(w.Dirty, w.SigmaD, taus, cfg, 0); err != nil {
+			if _, err := repair.RunSamplingParallel(context.Background(), w.Dirty, w.SigmaD, taus, cfg, 0); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -11,6 +11,7 @@ package relatrust_test
 // seconds); RELATRUST_BENCH_SCALE overrides the multiplier.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -270,7 +271,7 @@ func BenchmarkFDSearch(b *testing.B) {
 			tau := s.DeltaPOriginal() / 10
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Find(tau); err != nil {
+				if _, err := s.Find(context.Background(), tau); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -331,7 +332,7 @@ func BenchmarkRepairData(b *testing.B) {
 	in, sigma := benchWorkload(b, 2000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := repair.RepairData(in, sigma, nil, int64(i)); err != nil {
+		if _, err := repair.RepairData(in, sigma, nil, int64(i), nil); err != nil {
 			b.Fatal(err)
 		}
 	}

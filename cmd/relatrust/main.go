@@ -8,14 +8,20 @@
 //
 // With -tau N it prints the single repair for that cell-change budget
 // (Algorithm 1 of the paper); without it, the full Pareto frontier of
-// suggested repairs (Algorithm 6).
+// suggested repairs (Algorithm 6), each row printed as its trust level
+// finishes. Ctrl-C cancels a running sweep cleanly: the partial frontier
+// stays printed and the process exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"relatrust"
 
@@ -25,13 +31,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "relatrust:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		dataPath  = flag.String("data", "", "CSV file (header row defines the schema)")
 		fdSpec    = flag.String("fds", "", "FDs, e.g. \"A,B->C; D->E\" (or @file to read them from a file)")
@@ -44,6 +52,7 @@ func run() error {
 		outPath   = flag.String("o", "", "write the repaired data of the last printed repair to this CSV file")
 		showData  = flag.Bool("show-cells", false, "list every changed cell per repair")
 		maxShown  = flag.Int("max-cells", 20, "changed cells to list per repair with -show-cells")
+		progress  = flag.Bool("progress", false, "report sweep progress (τ levels, states visited, cache hit rate) on stderr")
 	)
 	flag.Parse()
 	if *dataPath == "" || *fdSpec == "" {
@@ -69,21 +78,21 @@ func run() error {
 	}
 	if strings.Contains(spec, "|") {
 		// Conditional FDs take the CFD engine (single-τ only).
-		return runCFD(in, spec, *tau, w, *seed)
+		return runCFD(ctx, in, spec, *tau, w, *seed)
 	}
 	sigma, err := relatrust.ParseFDs(in.Schema, spec)
 	if err != nil {
 		return err
 	}
-	// One session serves every facade call of this run (the satisfaction
-	// check, MaxBudget, and the repair itself analyze the same instance).
 	opt := relatrust.Options{
 		Weights:          w,
 		BestFirst:        *bestFirst,
 		Seed:             *seed,
 		Workers:          *workers,
-		Session:          relatrust.NewSession(in),
 		NoPartitionCache: *noCache,
+	}
+	if *progress {
+		opt.Progress = reportProgress
 	}
 
 	fmt.Printf("%d tuples × %d attributes, Σ = %s\n", in.N(), in.Schema.Width(), sigma.Format(in.Schema))
@@ -91,7 +100,13 @@ func run() error {
 		fmt.Println("the data already satisfies every FD; nothing to repair")
 		return nil
 	}
-	dp, err := relatrust.MaxBudget(in, sigma, opt)
+	// The Repairer validates once and owns the warm session engine: the
+	// MaxBudget call below and the repair sweep share one analysis.
+	rp, err := relatrust.NewRepairer(in, sigma, opt)
+	if err != nil {
+		return err
+	}
+	dp, err := rp.MaxBudget(ctx)
 	if err != nil {
 		return err
 	}
@@ -99,25 +114,37 @@ func run() error {
 
 	var repairs []*relatrust.Repair
 	if *tau >= 0 {
-		r, err := relatrust.RepairWithBudget(in, sigma, *tau, opt)
-		if err != nil {
-			return err
-		}
-		if r == nil {
+		r, err := rp.RepairWithBudget(ctx, *tau)
+		if errors.Is(err, relatrust.ErrNoRepairInBudget) {
 			fmt.Printf("no FD relaxation fits τ=%d; raise the budget\n", *tau)
 			return nil
 		}
-		repairs = []*relatrust.Repair{r}
-	} else {
-		repairs, err = relatrust.SuggestRepairs(in, sigma, opt)
 		if err != nil {
 			return err
 		}
+		repairs = []*relatrust.Repair{r}
+		if err := report.Spectrum(os.Stdout, in, repairs); err != nil {
+			return err
+		}
+	} else {
+		// Stream the frontier: each row appears the moment its trust level
+		// finishes, so slow sweeps show progress and a Ctrl-C keeps the
+		// partial spectrum.
+		sw := report.NewSpectrumWriter(os.Stdout)
+		for r, err := range rp.Frontier(ctx) {
+			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					fmt.Printf("\nsweep cancelled after %d of the frontier's repairs\n", sw.Rows())
+				}
+				return err
+			}
+			if err := sw.Row(in, r); err != nil {
+				return err
+			}
+			repairs = append(repairs, r)
+		}
 	}
 
-	if err := report.Spectrum(os.Stdout, in, repairs); err != nil {
-		return err
-	}
 	if *showData {
 		for i, r := range repairs {
 			fmt.Printf("\nchanges of repair %d:\n", i+1)
@@ -138,8 +165,23 @@ func run() error {
 	return nil
 }
 
+// reportProgress renders Options.Progress events on stderr.
+func reportProgress(ev relatrust.ProgressEvent) {
+	switch ev.Kind {
+	case relatrust.ProgressSweepStarted:
+		fmt.Fprintf(os.Stderr, "progress: sweep started, τ=%d\n", ev.Tau)
+	case relatrust.ProgressTauFinished:
+		fmt.Fprintf(os.Stderr, "progress: τ=%d finished (%d states visited)\n", ev.Tau, ev.Visited)
+	case relatrust.ProgressTauStarted:
+		fmt.Fprintf(os.Stderr, "progress: continuing under τ=%d\n", ev.Tau)
+	case relatrust.ProgressSweepFinished:
+		fmt.Fprintf(os.Stderr, "progress: sweep finished (%d states visited, cover-cache hit rate %.0f%%)\n",
+			ev.Visited, 100*ev.CacheHitRate)
+	}
+}
+
 // runCFD repairs against conditional FDs (pattern syntax "A,B->C | a,_").
-func runCFD(in *relatrust.Instance, spec string, tau int, w weights.Func, seed int64) error {
+func runCFD(ctx context.Context, in *relatrust.Instance, spec string, tau int, w weights.Func, seed int64) error {
 	set, err := cfd.ParseSet(in.Schema, spec)
 	if err != nil {
 		return err
@@ -152,7 +194,7 @@ func runCFD(in *relatrust.Instance, spec string, tau int, w weights.Func, seed i
 	if tau < 0 {
 		return fmt.Errorf("CFD mode needs an explicit -tau budget")
 	}
-	r, err := cfd.RepairWithBudget(in, set, tau, cfd.Config{Weights: w, Seed: seed})
+	r, err := cfd.RepairWithBudget(ctx, in, set, tau, cfd.Config{Weights: w, Seed: seed})
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ package relatrust_test
 // verified by go test, so the documentation cannot drift from behavior.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,6 +16,28 @@ sales,pat,2
 sales,sam,2
 eng,lee,3
 `
+
+func ExampleRepairer_Frontier() {
+	inst, _ := relatrust.ReadCSV(strings.NewReader(exampleCSV))
+	sigma, _ := relatrust.ParseFDs(inst.Schema, "Dept->Manager")
+
+	// The Repairer validates once and streams the Pareto frontier; pass a
+	// cancellable context to make long sweeps interruptible.
+	rp, _ := relatrust.NewRepairer(inst, sigma, relatrust.Options{
+		Weights: relatrust.AttrCountWeights(),
+		Seed:    1,
+	})
+	for r, err := range rp.Frontier(context.Background()) {
+		if err != nil {
+			fmt.Println("sweep failed:", err)
+			return
+		}
+		fmt.Printf("τ≤%d: Σ'={%s}, %d cell change(s)\n",
+			r.Tau, r.Sigma.Format(inst.Schema), r.Data.NumChanges())
+	}
+	// Output:
+	// τ≤1: Σ'={Dept->Manager}, 1 cell change(s)
+}
 
 func ExampleSuggestRepairs() {
 	inst, _ := relatrust.ReadCSV(strings.NewReader(exampleCSV))

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 		scoped.Format(in.Schema), len(scoped.Violations(in, 0)))
 
 	// Repair under generous trust: only the genuine US typo is touched.
-	r, err := cfd.RepairWithBudget(in, scoped, 4, cfd.Config{Seed: 1})
+	r, err := cfd.RepairWithBudget(context.Background(), in, scoped, 4, cfd.Config{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,10 +63,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if r, _ := cfd.RepairWithBudget(in, constSet, 1, cfd.Config{}); r == nil {
+	if r, _ := cfd.RepairWithBudget(context.Background(), in, constSet, 1, cfd.Config{}); r == nil {
 		fmt.Println("\nconstant pattern with τ=1: infeasible (two tuples must change)")
 	}
-	r2, err := cfd.RepairWithBudget(in, constSet, 2, cfd.Config{})
+	r2, err := cfd.RepairWithBudget(context.Background(), in, constSet, 2, cfd.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -49,14 +51,19 @@ func main() {
 
 	// Step 3: at τ=0 (full trust in the data) the repair must extend the
 	// weakened FD until it holds again — recovering the removed attribute
-	// or an equivalent one.
+	// or an equivalent one. Infeasible budgets surface as the structured
+	// ErrNoRepairInBudget.
 	opt := relatrust.Options{Weights: relatrust.DistinctCountWeights(clean), Seed: 4}
-	r, err := relatrust.RepairWithBudget(clean, p.Sigma, 0, opt)
+	rp, err := relatrust.NewRepairer(clean, p.Sigma, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if r == nil {
+	r, err := rp.RepairWithBudget(context.Background(), 0)
+	if errors.Is(err, relatrust.ErrNoRepairInBudget) {
 		log.Fatal("no zero-change repair found")
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("repair at τ=0: %s\n", r.Sigma.Format(spec.Schema))
 	fmt.Printf("cell changes: %d (must be 0)\n", r.Data.NumChanges())

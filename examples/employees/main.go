@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -52,17 +53,29 @@ func main() {
 
 	// Weight appended attributes by their distinct-value counts, as the
 	// paper's experiments do: BirthDate (8 values) is cheaper to append
-	// than Phone (10 values, a key).
+	// than Phone (10 values, a key). Options.Progress makes the sweep
+	// observable — useful when the table is millions of rows, invisible
+	// here only because the example is tiny.
 	opt := relatrust.Options{
 		Weights: relatrust.DistinctCountWeights(inst),
 		Seed:    3,
+		Progress: func(ev relatrust.ProgressEvent) {
+			if ev.Kind == relatrust.ProgressSweepFinished {
+				fmt.Printf("(sweep visited %d search states)\n\n", ev.Visited)
+			}
+		},
 	}
-	repairs, err := relatrust.SuggestRepairs(inst, sigma, opt)
+	rp, err := relatrust.NewRepairer(inst, sigma, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, r := range repairs {
-		fmt.Printf("--- suggestion %d (allow at most %d cell changes) ---\n", i+1, r.Tau)
+	i := 0
+	for r, err := range rp.Frontier(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		i++
+		fmt.Printf("--- suggestion %d (allow at most %d cell changes) ---\n", i, r.Tau)
 		fmt.Printf("Σ' = %s\n", r.Sigma.Format(inst.Schema))
 		if r.Data.NumChanges() == 0 {
 			fmt.Println("data unchanged")

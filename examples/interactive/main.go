@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,8 +33,16 @@ func main() {
 	}
 	fmt.Println(in)
 
+	// One Repairer serves the whole interactive session: sampling and the
+	// pinned repair below share its warm analysis state.
+	ctx := context.Background()
+	rp, err := relatrust.NewRepairer(in, sigma, relatrust.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Step 1: how many ways can this be fixed? Sample the repair space.
-	samples, err := relatrust.SampleRepairs(in, sigma, 5, relatrust.Options{Seed: 1})
+	samples, err := rp.Sample(ctx, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +59,7 @@ func main() {
 	for a := 0; a < in.Schema.Width(); a++ {
 		pinned[relatrust.CellRef{Tuple: 1, Attr: a}] = true
 	}
-	rep, err := relatrust.RepairDataOnly(in, sigma, pinned, relatrust.Options{Seed: 1})
+	rep, err := rp.RepairDataOnly(ctx, pinned)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,12 @@
-// Quickstart: repair a small inconsistent table against one FD, printing
-// every suggested repair across the relative-trust spectrum.
+// Quickstart: repair a small inconsistent table against one FD, streaming
+// every suggested repair across the relative-trust spectrum as the sweep
+// produces it.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -36,12 +38,20 @@ func main() {
 	fmt.Printf("Σ = %s\n", sigma.Format(inst.Schema))
 	fmt.Printf("satisfied: %v\n\n", relatrust.Satisfies(inst, sigma))
 
-	repairs, err := relatrust.SuggestRepairs(inst, sigma, relatrust.Options{Seed: 1})
+	// A Repairer validates the pair once and owns the analysis state; the
+	// Frontier iterator yields each Pareto point as its trust level
+	// finishes (pass a cancellable context to make sweeps interruptible).
+	rp, err := relatrust.NewRepairer(inst, sigma, relatrust.Options{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, r := range repairs {
-		fmt.Printf("--- repair %d: τ ≤ %d ---\n", i+1, r.Tau)
+	i := 0
+	for r, err := range rp.Frontier(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		i++
+		fmt.Printf("--- repair %d: τ ≤ %d ---\n", i, r.Tau)
 		fmt.Printf("Σ' = %s   (FD distance %.3g)\n", r.Sigma.Format(inst.Schema), r.FDCost)
 		fmt.Printf("cell changes: %d\n", r.Data.NumChanges())
 		for _, c := range r.Data.Changed {

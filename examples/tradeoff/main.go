@@ -3,6 +3,11 @@
 // suggested repair comes to undoing the injected damage — a miniature of
 // the paper's Figure 7 experiment that you can read end to end.
 //
+// This example deliberately stays on the batch back-compat wrappers
+// (SuggestRepairs, MaxBudget): existing code written against the
+// pre-Repairer facade keeps working unchanged. See examples/quickstart
+// and examples/employees for the streaming Repairer/Frontier API.
+//
 // Run with: go run ./examples/tradeoff
 package main
 

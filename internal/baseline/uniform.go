@@ -141,7 +141,7 @@ func Repair(in *relation.Instance, sigma fd.Set, cfg Config) (*Result, error) {
 		sigmaR[i] = g
 	}
 	cover := an.Cover(ext)
-	data, err := repair.RepairData(in, sigmaR, cover, cfg.Seed)
+	data, err := repair.RepairData(in, sigmaR, cover, cfg.Seed, eng)
 	if err != nil {
 		return nil, err
 	}

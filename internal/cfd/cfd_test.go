@@ -1,6 +1,7 @@
 package cfd
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -131,7 +132,7 @@ func TestExtendIsRelaxation(t *testing.T) {
 func TestRepairPairViolationsByData(t *testing.T) {
 	in := zipInstance()
 	set, _ := ParseSet(in.Schema, "CC,ZIP->City | US,_")
-	r, err := RepairWithBudget(in, set, 10, Config{Seed: 1})
+	r, err := RepairWithBudget(context.Background(), in, set, 10, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestRepairRelaxesAtTauZero(t *testing.T) {
 	// an attribute (CC cannot help the US pair — same CC — so City/CC…:
 	// the only appendable attribute is CC, which fixes the UK pair only;
 	// the US pair differs solely on City → permanent → τ=0 infeasible).
-	r, err := RepairWithBudget(in, set, 0, Config{Seed: 1})
+	r, err := RepairWithBudget(context.Background(), in, set, 0, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestRepairRelaxesAtTauZero(t *testing.T) {
 		t.Fatalf("τ=0 must be infeasible here, got %v", r)
 	}
 	// With τ=2 (α=1, the US pair repaired by data), relaxation+data works.
-	r, err = RepairWithBudget(in, set, 2, Config{Seed: 1})
+	r, err = RepairWithBudget(context.Background(), in, set, 2, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,14 +190,14 @@ func TestRepairSingleViolations(t *testing.T) {
 	in := zipInstance()
 	set, _ := ParseSet(in.Schema, "CC->ZIP | UK || SW1A")
 	// Two single violations, α = 1: need τ ≥ 2.
-	r, err := RepairWithBudget(in, set, 1, Config{Seed: 2})
+	r, err := RepairWithBudget(context.Background(), in, set, 1, Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r != nil {
 		t.Fatal("τ=1 cannot cover two unavoidable single violations")
 	}
-	r, err = RepairWithBudget(in, set, 2, Config{Seed: 2})
+	r, err = RepairWithBudget(context.Background(), in, set, 2, Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestRepairMixedSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := RepairWithBudget(in, set, 5, Config{Seed: 5})
+	r, err := RepairWithBudget(context.Background(), in, set, 5, Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

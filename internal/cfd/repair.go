@@ -1,6 +1,7 @@
 package cfd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -59,8 +60,9 @@ type Config struct {
 // future-work direction). Single-tuple pattern violations cannot be
 // resolved by any relaxation, so they charge the budget up front; pair
 // violations go through the same conflict-cover search as plain FDs,
-// restricted to pattern-matching tuples.
-func RepairWithBudget(in *relation.Instance, set Set, tau int, cfg Config) (*Repair, error) {
+// restricted to pattern-matching tuples. Cancelling ctx aborts the
+// relaxation search with context.Cause(ctx).
+func RepairWithBudget(ctx context.Context, in *relation.Instance, set Set, tau int, cfg Config) (*Repair, error) {
 	if len(set) == 0 {
 		return nil, fmt.Errorf("cfd: empty CFD set")
 	}
@@ -104,7 +106,7 @@ func RepairWithBudget(in *relation.Instance, set Set, tau int, cfg Config) (*Rep
 	}
 
 	sr := search.NewSearcher(an, cfg.Weights, cfg.Search)
-	res, err := sr.Find(searchBudget)
+	res, err := sr.Find(ctx, searchBudget)
 	if err != nil {
 		return nil, err
 	}

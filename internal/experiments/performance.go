@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -32,7 +33,7 @@ func runOne(w *Workload, heuristic bool, taur float64, cfg Config) (PerfPoint, e
 	defer s.Close()
 	tau := s.TauFromRelative(taur)
 	start := time.Now()
-	r, err := s.Run(tau)
+	r, err := s.Run(context.Background(), tau)
 	elapsed := time.Since(start).Seconds()
 	name := "A*"
 	if !heuristic {
@@ -219,7 +220,7 @@ func Figure13(cfg Config) ([]Fig13Point, error) {
 		}
 		tauHigh := s.TauFromRelative(maxTauR)
 		start := time.Now()
-		ranged, err := s.RunRange(0, tauHigh)
+		ranged, err := s.RunRange(context.Background(), 0, tauHigh)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +235,7 @@ func Figure13(cfg Config) ([]Fig13Point, error) {
 			taus = append(taus, s.TauFromRelative(taur))
 		}
 		start = time.Now()
-		sampled, err := repair.RunSampling(w.Dirty, w.SigmaD, taus, repairConfigOf(w, cfg))
+		sampled, err := repair.RunSampling(context.Background(), w.Dirty, w.SigmaD, taus, repairConfigOf(w, cfg))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -73,7 +74,7 @@ func trustSpectrum(w *Workload, cfg Config) ([]*repair.Repair, int, error) {
 	}
 	defer s.Close()
 	dp0 := s.DeltaPOriginal()
-	repairs, err := s.RunRange(0, dp0)
+	repairs, err := s.RunRange(context.Background(), 0, dp0)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -102,7 +102,7 @@ func TestTrackerApplyRepair(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	in := testkit.RandomInstance(rng, 15, 4, 2)
 	sigma := testkit.RandomFDs(rng, 4, 2, 2)
-	rep, err := repair.RepairData(in, sigma, nil, 4)
+	rep, err := repair.RepairData(in, sigma, nil, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

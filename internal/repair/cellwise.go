@@ -23,10 +23,14 @@ import (
 // It produces a valid repair (the output satisfies sigma) but, unlike
 // Algorithm 4, carries no min{|R|−1, |Σ|} per-tuple change bound — the
 // trade-off the paper's design sidesteps, measurable with the ablation
-// benchmarks.
-func RepairDataCellwise(in *relation.Instance, sigma fd.Set, cover []int32, seed int64) (*DataRepair, error) {
+// benchmarks. A non-nil eng shares its warm conflict-analysis arenas for
+// the cover computation (it must be bound to in); nil uses a private one.
+func RepairDataCellwise(in *relation.Instance, sigma fd.Set, cover []int32, seed int64, eng *session.Engine) (*DataRepair, error) {
 	if cover == nil {
-		eng := session.New(in)
+		eng, err := session.For(eng, in)
+		if err != nil {
+			return nil, fmt.Errorf("repair: %w", err)
+		}
 		an := eng.Acquire(sigma)
 		cover = an.Cover(nil)
 		eng.Release(an)

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestCellwiseRepairSatisfiesSigma(t *testing.T) {
 		width := 4 + rng.Intn(2)
 		in := testkit.RandomInstance(rng, 10+rng.Intn(8), width, 2)
 		sigma := testkit.RandomFDs(rng, width, 1+rng.Intn(2), 2)
-		rep, err := RepairDataCellwise(in, sigma, nil, int64(trial))
+		rep, err := RepairDataCellwise(in, sigma, nil, int64(trial), nil)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -44,7 +45,7 @@ func TestCellwiseRepairSatisfiesSigma(t *testing.T) {
 func TestCellwiseOnPaperExample(t *testing.T) {
 	in, _ := testkit.Paper4x4()
 	sigma := fd.MustParseSet(in.Schema, "C,A->B; C->D")
-	rep, err := RepairDataCellwise(in, sigma, nil, 3)
+	rep, err := RepairDataCellwise(in, sigma, nil, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +70,11 @@ func TestCellwiseVsTuplewiseChangeCounts(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		in := testkit.RandomInstance(rng, 20, 5, 2)
 		sigma := testkit.RandomFDs(rng, 5, 2, 2)
-		cw, err := RepairDataCellwise(in, sigma, nil, int64(trial))
+		cw, err := RepairDataCellwise(in, sigma, nil, int64(trial), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tw, err := RepairData(in, sigma, nil, int64(trial))
+		tw, err := RepairData(in, sigma, nil, int64(trial), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,11 +90,11 @@ func TestCellwiseVsTuplewiseChangeCounts(t *testing.T) {
 func TestParallelSamplingMatchesSerial(t *testing.T) {
 	in, sigma := testkit.Paper4x4()
 	taus := []int{4, 3, 2, 1, 0}
-	serial, err := RunSampling(in, sigma, taus, Config{})
+	serial, err := RunSampling(context.Background(), in, sigma, taus, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunSamplingParallel(in, sigma, taus, Config{}, 4)
+	parallel, err := RunSamplingParallel(context.Background(), in, sigma, taus, Config{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestParallelSamplingMatchesSerial(t *testing.T) {
 
 func TestParallelSamplingEdgeCases(t *testing.T) {
 	in, sigma := testkit.Paper4x4()
-	if out, err := RunSamplingParallel(in, sigma, nil, Config{}, 2); err != nil || out != nil {
+	if out, err := RunSamplingParallel(context.Background(), in, sigma, nil, Config{}, 2); err != nil || out != nil {
 		t.Errorf("empty τ list: %v, %v", out, err)
 	}
 	// Single worker equals serial behavior.
-	one, err := RunSamplingParallel(in, sigma, []int{2}, Config{}, 1)
+	one, err := RunSamplingParallel(context.Background(), in, sigma, []int{2}, Config{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestSortRepairsByTrust(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reps, err := s.RunRange(0, s.DeltaPOriginal())
+	reps, err := s.RunRange(context.Background(), 0, s.DeltaPOriginal())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,12 @@
 // (Algorithm 4) with Find_Assignment (Algorithm 5), and the multi-repair
 // generators of Section 7 (Range-Repair, Algorithm 6, and the
 // Sampling-Repair baseline).
+//
+// The entry points are context-first: the FD-modification searches honor
+// cancellation (returning context.Cause), Session.StreamRange delivers
+// Range-Repair's frontier incrementally with Config.Progress observability,
+// and validation failures are the structured errors of errors.go
+// (ErrEmptyFDSet, ErrEmptyInstance, ErrSchemaMismatch wrappers).
 package repair
 
 import (
@@ -34,10 +40,16 @@ func (d *DataRepair) NumChanges() int { return len(d.Changed) }
 // it so the δP ≤ τ accounting matches exactly.
 //
 // The seed drives the random tuple and attribute orders the algorithm
-// prescribes; fixed seeds give reproducible repairs.
-func RepairData(in *relation.Instance, sigma fd.Set, cover []int32, seed int64) (*DataRepair, error) {
+// prescribes; fixed seeds give reproducible repairs. A non-nil eng shares
+// its warm conflict-analysis arenas for the cover computation (it must be
+// bound to in); nil uses a private engine. The engine is only consulted
+// when cover is nil.
+func RepairData(in *relation.Instance, sigma fd.Set, cover []int32, seed int64, eng *session.Engine) (*DataRepair, error) {
 	if cover == nil {
-		eng := session.New(in)
+		eng, err := session.For(eng, in)
+		if err != nil {
+			return nil, fmt.Errorf("repair: %w", err)
+		}
 		an := eng.Acquire(sigma)
 		cover = an.Cover(nil)
 		eng.Release(an)

@@ -14,7 +14,7 @@ func TestRepairDataPaperExample(t *testing.T) {
 	// the repair changes at most α·|C2opt| = 2 cells, all in t2.
 	in, _ := testkit.Paper4x4()
 	sigma := fd.MustParseSet(in.Schema, "C,A->B; C->D")
-	rep, err := RepairData(in, sigma, nil, 1)
+	rep, err := RepairData(in, sigma, nil, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestRepairDataProperties(t *testing.T) {
 		width := 4 + rng.Intn(2)
 		in := testkit.RandomInstance(rng, 8+rng.Intn(8), width, 2)
 		sigma := testkit.RandomFDs(rng, width, 1+rng.Intn(2), 2)
-		rep, err := RepairData(in, sigma, nil, int64(trial))
+		rep, err := RepairData(in, sigma, nil, int64(trial), nil)
 		if err != nil {
 			t.Fatalf("trial %d: %v\nΣ=%v\n%s", trial, err, sigma, in)
 		}
@@ -88,7 +88,7 @@ func TestRepairDataPerTupleChangeBound(t *testing.T) {
 		width := 5
 		in := testkit.RandomInstance(rng, 12, width, 2)
 		sigma := testkit.RandomFDs(rng, width, 2, 2)
-		rep, err := RepairData(in, sigma, nil, 0)
+		rep, err := RepairData(in, sigma, nil, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestRepairDataWithSuppliedCover(t *testing.T) {
 	sigma := fd.MustParseSet(in.Schema, "C,A->B; C->D")
 	an := conflict.New(in, sigma)
 	cover := an.Cover(nil)
-	rep, err := RepairData(in, sigma, cover, 0)
+	rep, err := RepairData(in, sigma, cover, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestRepairDataRejectsNonCover(t *testing.T) {
 	})
 	sigma := fd.MustParseSet(in.Schema, "A->B")
 	// An empty "cover" cannot license a repair of a violated instance.
-	if _, err := RepairData(in, sigma, []int32{}, 0); err == nil {
+	if _, err := RepairData(in, sigma, []int32{}, 0, nil); err == nil {
 		t.Error("non-cover must be rejected")
 	}
 }
@@ -140,11 +140,11 @@ func TestRepairDataRejectsNonCover(t *testing.T) {
 func TestRepairDataDeterministicPerSeed(t *testing.T) {
 	in, _ := testkit.Paper4x4()
 	sigma := fd.MustParseSet(in.Schema, "A->B; C->D")
-	a, err := RepairData(in, sigma, nil, 42)
+	a, err := RepairData(in, sigma, nil, 42, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RepairData(in, sigma, nil, 42)
+	b, err := RepairData(in, sigma, nil, 42, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestRepairDataSatisfiedInputUntouched(t *testing.T) {
 		{"1", "x"}, {"2", "y"},
 	})
 	sigma := fd.MustParseSet(in.Schema, "A->B")
-	rep, err := RepairData(in, sigma, nil, 0)
+	rep, err := RepairData(in, sigma, nil, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestRepairDataUsesVariablesOnlyWhenFree(t *testing.T) {
 		{"1", "x", "c1"}, {"1", "y", "c2"}, {"2", "z", "c3"},
 	})
 	sigma := fd.MustParseSet(in.Schema, "A->B")
-	rep, err := RepairData(in, sigma, nil, 7)
+	rep, err := RepairData(in, sigma, nil, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestRepairDataStressLarger(t *testing.T) {
 	rng := rand.New(rand.NewSource(101))
 	in := testkit.RandomInstance(rng, 400, 6, 3)
 	sigma := testkit.RandomFDs(rng, 6, 3, 2)
-	rep, err := RepairData(in, sigma, nil, 9)
+	rep, err := RepairData(in, sigma, nil, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

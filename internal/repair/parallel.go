@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -20,7 +21,12 @@ import (
 // Results are deduplicated by FD modification and returned in
 // descending-τ order, matching RunSampling's output for the same τ list.
 // workers ≤ 0 selects GOMAXPROCS.
-func RunSamplingParallel(in *relation.Instance, sigma fd.Set, taus []int, cfg Config, workers int) ([]*Repair, error) {
+//
+// Cancelling ctx stops feeding τ levels to the workers and cancels the
+// per-τ searches already running; the workers are always drained before
+// the call returns (with context.Cause(ctx)), so no goroutine outlives it
+// and every session is closed back to the shared engine.
+func RunSamplingParallel(ctx context.Context, in *relation.Instance, sigma fd.Set, taus []int, cfg Config, workers int) ([]*Repair, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -54,17 +60,25 @@ func RunSamplingParallel(in *relation.Instance, sigma fd.Set, taus []int, cfg Co
 					results[i] = slot{err: err}
 					continue
 				}
-				r, err := s.Run(taus[i])
+				r, err := s.Run(ctx, taus[i])
 				s.Close()
 				results[i] = slot{rep: r, err: err}
 			}
 		}()
 	}
+feed:
 	for i := range taus {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 
 	// Deduplicate in the caller's τ order, exactly like RunSampling.
 	var out []*Repair

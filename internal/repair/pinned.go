@@ -20,8 +20,14 @@ import (
 //
 // Pinning also constrains the vertex cover: a conflict edge between two
 // fully-pinned tuples cannot be repaired at all.
-func RepairDataPinned(in *relation.Instance, sigma fd.Set, pinned map[relation.CellRef]bool, seed int64) (*DataRepair, error) {
-	eng := session.New(in)
+//
+// A non-nil eng shares its warm conflict-analysis arenas for the cover
+// computation (it must be bound to in); nil uses a private engine.
+func RepairDataPinned(in *relation.Instance, sigma fd.Set, pinned map[relation.CellRef]bool, seed int64, eng *session.Engine) (*DataRepair, error) {
+	eng, err := session.For(eng, in)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
 	an := eng.Acquire(sigma)
 	hasPin := make(map[int32]bool)
 	for c := range pinned {

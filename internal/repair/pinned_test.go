@@ -20,7 +20,7 @@ func TestPinnedCellsAreNeverChanged(t *testing.T) {
 		for i := 0; i < 6; i++ {
 			pinned[relation.CellRef{Tuple: rng.Intn(12), Attr: rng.Intn(width)}] = true
 		}
-		rep, err := RepairDataPinned(in, sigma, pinned, int64(trial))
+		rep, err := RepairDataPinned(in, sigma, pinned, int64(trial), nil)
 		if err != nil {
 			continue // infeasible pinnings are legitimate
 		}
@@ -48,7 +48,7 @@ func TestPinnedForcesAlternativeRepair(t *testing.T) {
 	for a := 0; a < 3; a++ {
 		pinned[relation.CellRef{Tuple: 1, Attr: a}] = true
 	}
-	rep, err := RepairDataPinned(in, sigma, pinned, 3)
+	rep, err := RepairDataPinned(in, sigma, pinned, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,14 +74,14 @@ func TestPinnedInfeasibleDetected(t *testing.T) {
 			pinned[relation.CellRef{Tuple: ti, Attr: a}] = true
 		}
 	}
-	if _, err := RepairDataPinned(in, sigma, pinned, 0); err == nil {
+	if _, err := RepairDataPinned(in, sigma, pinned, 0, nil); err == nil {
 		t.Fatal("fully-pinned conflicting pair must be infeasible")
 	}
 }
 
 func TestPinnedNoPinsEquivalentToPlainRepair(t *testing.T) {
 	in, sigma := testkit.Paper4x4()
-	rep, err := RepairDataPinned(in, sigma, nil, 5)
+	rep, err := RepairDataPinned(in, sigma, nil, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

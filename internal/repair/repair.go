@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 
 	"relatrust/internal/conflict"
@@ -55,6 +56,11 @@ type Config struct {
 	// of rebuilding them. It must be bound to the same instance the
 	// session is opened on. Nil builds a private single-use engine.
 	Engine *session.Engine
+	// Progress, when non-nil, observes the milestones of range sweeps
+	// (StreamRange): τ levels starting and finishing, search effort, and
+	// the partition-cache hit rate. Callbacks run synchronously on the
+	// sweeping goroutine.
+	Progress func(ProgressEvent)
 }
 
 func (c Config) withDefaults() Config {
@@ -77,18 +83,12 @@ type Session struct {
 	eng      *session.Engine
 }
 
-// NewSession analyzes the instance against the FD set.
+// NewSession analyzes the instance against the FD set. Validation errors
+// are the structured ones of Validate (ErrEmptyFDSet, ErrEmptyInstance,
+// *SchemaMismatchError).
 func NewSession(in *relation.Instance, sigma fd.Set, cfg Config) (*Session, error) {
-	if len(sigma) == 0 {
-		return nil, fmt.Errorf("repair: empty FD set")
-	}
-	if in.N() == 0 {
-		return nil, fmt.Errorf("repair: empty instance")
-	}
-	for _, f := range sigma {
-		if f.RHS >= in.Schema.Width() || f.LHS.Max() >= in.Schema.Width() {
-			return nil, fmt.Errorf("repair: FD %s references attributes outside schema %s", f, in.Schema)
-		}
+	if err := Validate(in, sigma); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	eng, err := session.For(cfg.Engine, in)
@@ -137,9 +137,9 @@ func (s *Session) TauFromRelative(taur float64) int {
 // Run implements Algorithm 1 (Repair_Data_FDs): it finds the FD repair
 // closest to Σ whose δP is within tau, then materializes the data repair.
 // It returns nil (the paper's (φ, φ)) when no FD relaxation fits the
-// budget.
-func (s *Session) Run(tau int) (*Repair, error) {
-	res, err := s.Searcher.Find(tau)
+// budget. Cancelling ctx aborts the search with context.Cause(ctx).
+func (s *Session) Run(ctx context.Context, tau int) (*Repair, error) {
+	res, err := s.Searcher.Find(ctx, tau)
 	if err != nil {
 		return nil, err
 	}
@@ -152,8 +152,8 @@ func (s *Session) Run(tau int) (*Repair, error) {
 // RunRange implements Algorithm 6 followed by data-repair materialization:
 // one search pass yields the distinct FD repairs for every τ in [tauLow,
 // tauHigh]; each is then completed into a full (Σ′, I′) suggestion.
-func (s *Session) RunRange(tauLow, tauHigh int) ([]*Repair, error) {
-	results, err := s.Searcher.FindRange(tauLow, tauHigh)
+func (s *Session) RunRange(ctx context.Context, tauLow, tauHigh int) ([]*Repair, error) {
+	results, err := s.Searcher.FindRange(ctx, tauLow, tauHigh)
 	if err != nil {
 		return nil, err
 	}
@@ -170,12 +170,54 @@ func (s *Session) RunRange(tauLow, tauHigh int) ([]*Repair, error) {
 	return repairs, nil
 }
 
+// StreamRange is RunRange delivering each suggestion the moment its trust
+// level is finalized instead of collecting the list: yield observes
+// exactly the repairs, in exactly the order, that RunRange(ctx, tauLow,
+// tauHigh) returns. The only difference is Repair.Stats — a streamed
+// point carries the search effort accumulated up to its finalization,
+// while RunRange stamps every point with the whole sweep's final effort
+// (the last streamed point carries the final effort in both).
+//
+// An error returned by yield aborts the sweep and is returned verbatim,
+// so callers can stop early with a private sentinel. Cancelling ctx
+// aborts with context.Cause(ctx). Config.Progress observes the sweep's
+// milestones (see ProgressEvent).
+func (s *Session) StreamRange(ctx context.Context, tauLow, tauHigh int, yield func(*Repair) error) error {
+	s.progress(ProgressEvent{Kind: ProgressSweepStarted, Tau: tauHigh})
+	tau := tauHigh
+	err := s.Searcher.FindRangeStream(ctx, tauLow, tauHigh, func(res *search.Result) error {
+		r, err := s.materialize(res, tau)
+		if err != nil {
+			return err
+		}
+		s.progress(ProgressEvent{
+			Kind: ProgressTauFinished, Tau: r.Tau, Repair: r,
+			Visited: r.Stats.Visited, Generated: r.Stats.Generated,
+		})
+		tau = res.DeltaP - 1 // the next repair was found under this bound
+		if tau >= tauLow {
+			s.progress(ProgressEvent{Kind: ProgressTauStarted, Tau: tau})
+		}
+		return yield(r)
+	})
+	if err != nil {
+		return err
+	}
+	final := s.Searcher.LastStats()
+	s.progress(ProgressEvent{
+		Kind: ProgressSweepFinished, Tau: tau,
+		Visited: final.Visited, Generated: final.Generated,
+		CacheHitRate: s.Searcher.CoverCacheStats().HitRate(),
+	})
+	return nil
+}
+
 // materialize runs the data-repair phase for a found FD modification,
 // reusing the search's vertex cover so the δP ≤ τ guarantee carries over
 // verbatim to the cell-change count.
 func (s *Session) materialize(res *search.Result, tau int) (*Repair, error) {
 	cover := s.Analysis.Cover(res.State)
-	data, err := RepairData(s.In, res.Sigma, cover, s.cfg.Seed)
+	data, err := RepairData(s.In, res.Sigma, cover, s.cfg.Seed, s.eng)
 	if err != nil {
 		return nil, err
 	}
@@ -191,13 +233,13 @@ func (s *Session) materialize(res *search.Result, tau int) (*Repair, error) {
 }
 
 // Run is the one-shot convenience wrapper around NewSession + Session.Run.
-func Run(in *relation.Instance, sigma fd.Set, tau int, cfg Config) (*Repair, error) {
+func Run(ctx context.Context, in *relation.Instance, sigma fd.Set, tau int, cfg Config) (*Repair, error) {
 	s, err := NewSession(in, sigma, cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer s.Close()
-	return s.Run(tau)
+	return s.Run(ctx, tau)
 }
 
 // RunSampling is the Sampling-Repair baseline of Section 8.3.5: it invokes
@@ -209,7 +251,7 @@ func Run(in *relation.Instance, sigma fd.Set, tau int, cfg Config) (*Repair, err
 // Figure 13 measures is preserved — but the per-τ sessions draw their
 // analyses from one shared engine, so iterations after the first reuse
 // the warm cluster arenas instead of re-running conflict.New.
-func RunSampling(in *relation.Instance, sigma fd.Set, taus []int, cfg Config) ([]*Repair, error) {
+func RunSampling(ctx context.Context, in *relation.Instance, sigma fd.Set, taus []int, cfg Config) ([]*Repair, error) {
 	eng, err := session.For(cfg.Engine, in)
 	if err != nil {
 		return nil, fmt.Errorf("repair: %w", err)
@@ -218,11 +260,14 @@ func RunSampling(in *relation.Instance, sigma fd.Set, taus []int, cfg Config) ([
 	var out []*Repair
 	seen := make(map[string]bool)
 	for _, tau := range taus {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		s, err := NewSession(in, sigma, cfg)
 		if err != nil {
 			return nil, err
 		}
-		r, err := s.Run(tau)
+		r, err := s.Run(ctx, tau)
 		s.Close()
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestRunPaperExample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(2)
+	rep, err := s.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestRunRespectsTau(t *testing.T) {
 		}
 		dp := s.DeltaPOriginal()
 		for _, tau := range []int{0, dp / 3, dp} {
-			rep, err := s.Run(tau)
+			rep, err := s.Run(context.Background(), tau)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -81,7 +82,7 @@ func TestRunRangeParetoFrontier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reps, err := s.RunRange(0, s.DeltaPOriginal())
+	reps, err := s.RunRange(context.Background(), 0, s.DeltaPOriginal())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRangeAndSamplingAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	dp := s.DeltaPOriginal()
-	ranged, err := s.RunRange(0, dp)
+	ranged, err := s.RunRange(context.Background(), 0, dp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestRangeAndSamplingAgree(t *testing.T) {
 	for tau := dp; tau >= 0; tau-- {
 		taus = append(taus, tau)
 	}
-	sampled, err := RunSampling(in, sigma, taus, Config{})
+	sampled, err := RunSampling(context.Background(), in, sigma, taus, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestTauFromRelative(t *testing.T) {
 
 func TestRunOneShotWrapper(t *testing.T) {
 	in, sigma := testkit.Paper4x4()
-	rep, err := Run(in, sigma, 100, Config{Weights: weights.AttrCount{}})
+	rep, err := Run(context.Background(), in, sigma, 100, Config{Weights: weights.AttrCount{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestBestFirstConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(2)
+	rep, err := s.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestMinimalityAgainstBruteForce(t *testing.T) {
 		}
 		dp := s.DeltaPOriginal()
 		for _, tau := range []int{0, dp / 2} {
-			rep, err := s.Run(tau)
+			rep, err := s.Run(context.Background(), tau)
 			if err != nil {
 				t.Fatal(err)
 			}

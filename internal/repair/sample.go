@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,8 +25,9 @@ import (
 // maxTries bounds the seeds attempted (0 means 8·k). Fewer than k repairs
 // are returned when the repair space is smaller than requested. A non-nil
 // eng shares its warm analysis arenas (it must be bound to in); nil uses a
-// private engine.
-func SampleDataRepairs(in *relation.Instance, sigma fd.Set, k int, seed int64, maxTries int, eng *session.Engine) ([]*DataRepair, error) {
+// private engine. Cancelling ctx aborts between draws with
+// context.Cause(ctx).
+func SampleDataRepairs(ctx context.Context, in *relation.Instance, sigma fd.Set, k int, seed int64, maxTries int, eng *session.Engine) ([]*DataRepair, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("repair: sample size %d must be positive", k)
 	}
@@ -45,7 +47,10 @@ func SampleDataRepairs(in *relation.Instance, sigma fd.Set, k int, seed int64, m
 	seen := make(map[string]bool, k)
 	var out []*DataRepair
 	for try := 0; try < maxTries && len(out) < k; try++ {
-		rep, err := RepairData(in, sigma, cover, seed+int64(try))
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		rep, err := RepairData(in, sigma, cover, seed+int64(try), eng)
 		if err != nil {
 			return nil, err
 		}

@@ -45,6 +45,48 @@ func Spectrum(w io.Writer, in *relation.Instance, repairs []*repair.Repair) erro
 	return err
 }
 
+// SpectrumWriter renders the trust spectrum one row at a time, for
+// streaming consumers (the CLI prints each frontier point as the sweep
+// yields it, so a cancelled sweep still shows the partial frontier).
+// Unlike Spectrum it cannot right-size columns to the data, so it uses
+// fixed widths sized for typical FD renderings.
+type SpectrumWriter struct {
+	w     io.Writer
+	n     int
+	wrote bool
+}
+
+// NewSpectrumWriter returns a streaming spectrum renderer over w.
+func NewSpectrumWriter(w io.Writer) *SpectrumWriter {
+	return &SpectrumWriter{w: w}
+}
+
+const spectrumRowFmt = "%-5s  %-6s  %-40s  %-7s  %-12s  %s\n"
+
+// Row renders one frontier point, emitting the header before the first.
+func (sw *SpectrumWriter) Row(in *relation.Instance, r *repair.Repair) error {
+	if !sw.wrote {
+		sw.wrote = true
+		if _, err := fmt.Fprintf(sw.w, spectrumRowFmt,
+			"level", "tau", "FD modification", "dist_c", "cell changes", "bound δP"); err != nil {
+			return err
+		}
+	}
+	sw.n++
+	_, err := fmt.Fprintf(sw.w, spectrumRowFmt,
+		fmt.Sprintf("%d", sw.n),
+		fmt.Sprintf("%d", r.Tau),
+		r.Sigma.Format(in.Schema),
+		fmt.Sprintf("%.4g", r.FDCost),
+		fmt.Sprintf("%d", r.Data.NumChanges()),
+		fmt.Sprintf("%d", r.DeltaP),
+	)
+	return err
+}
+
+// Rows reports how many rows were rendered.
+func (sw *SpectrumWriter) Rows() int { return sw.n }
+
 // Changes renders the changed cells of one repair.
 func Changes(w io.Writer, in *relation.Instance, r *repair.Repair, opt Options) error {
 	opt = opt.withDefaults()

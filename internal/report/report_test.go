@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func spectrumFixture(t *testing.T) (*repair.Session, []*repair.Repair) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reps, err := s.RunRange(0, s.DeltaPOriginal())
+	reps, err := s.RunRange(context.Background(), 0, s.DeltaPOriginal())
 	if err != nil {
 		t.Fatal(err)
 	}

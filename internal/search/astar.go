@@ -2,6 +2,7 @@ package search
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -118,6 +119,9 @@ type Searcher struct {
 	// coverStats accumulates the workers' partition-cache counters across
 	// the parallel runs of this searcher (see CoverCacheStats).
 	coverStats conflict.CoverStats
+
+	// lastStats is the final effort of the most recent run (see LastStats).
+	lastStats Stats
 }
 
 // NewSearcher prepares a searcher: collects difference sets once and wires
@@ -163,6 +167,12 @@ func (s *Searcher) DeltaPOriginal() int { return s.alpha * s.An.CoverSize(nil) }
 
 // DiffSetCount reports how many distinct difference sets were collected.
 func (s *Searcher) DiffSetCount() int { return len(s.ds) }
+
+// LastStats returns the final effort of the most recent Find, FindRange or
+// FindRangeStream call on this searcher, including runs that ended in an
+// error or cancellation. Streaming callers use it to report whole-sweep
+// effort after the last result was already delivered with a snapshot.
+func (s *Searcher) LastStats() Stats { return s.lastStats }
 
 // CoverCacheStats returns the aggregated cover-query refinement counters
 // of the parallel engine's workers, summed over every search run on this
@@ -221,9 +231,9 @@ func (o *openList) Pop() any {
 // minimum dist_c whose δP is at most tau, or nil if none exists (which can
 // only happen if some conflicting pair differs solely on an FD's RHS, so no
 // LHS extension resolves it, and tau is too small to repair it by data
-// changes).
-func (s *Searcher) Find(tau int) (*Result, error) {
-	res, err := s.run(tau, tau, nil)
+// changes). Cancelling ctx aborts the search with context.Cause(ctx).
+func (s *Searcher) Find(ctx context.Context, tau int) (*Result, error) {
+	res, err := s.run(ctx, tau, tau, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -236,30 +246,86 @@ func (s *Searcher) Find(tau int) (*Result, error) {
 // FindRange implements Algorithm 6 (Find_Repairs_FDs): it returns the FD
 // repairs for every distinct relative-trust level with τ in [tauLow,
 // tauHigh], ordered by decreasing τ (increasing FD cost), reusing one open
-// list across levels instead of re-running the search per τ.
-func (s *Searcher) FindRange(tauLow, tauHigh int) ([]*Result, error) {
+// list across levels instead of re-running the search per τ. Cancelling
+// ctx aborts the search with context.Cause(ctx).
+func (s *Searcher) FindRange(ctx context.Context, tauLow, tauHigh int) ([]*Result, error) {
 	if tauLow > tauHigh {
 		return nil, fmt.Errorf("search: tauLow %d exceeds tauHigh %d", tauLow, tauHigh)
 	}
-	return s.run(tauLow, tauHigh, nil)
+	return s.run(ctx, tauLow, tauHigh, nil)
+}
+
+// FindRangeStream is FindRange delivering each result as soon as it is
+// proven final instead of collecting the list. A found goal is *held* until
+// either a goal of strictly different cost arrives (Definition 4 lets a
+// later equal-cost goal with smaller δP supersede the held one) or the
+// search ends — so emit sees exactly the results, in exactly the order,
+// that FindRange would return. Results emitted mid-search carry the effort
+// accumulated up to their finalization; the final held result carries the
+// whole run's stats (see LastStats). An error returned by emit aborts the
+// search and is returned verbatim; cancellation returns context.Cause(ctx).
+func (s *Searcher) FindRangeStream(ctx context.Context, tauLow, tauHigh int, emit func(*Result) error) error {
+	if tauLow > tauHigh {
+		return fmt.Errorf("search: tauLow %d exceeds tauHigh %d", tauLow, tauHigh)
+	}
+	_, err := s.run(ctx, tauLow, tauHigh, emit)
+	return err
 }
 
 // run is the shared engine: a single-τ search is a range search whose first
-// goal ends it. The onGoal hook, when non-nil, observes every goal found.
-// Workers > 1 selects the pipelined parallel engine, which returns results
-// bit-identical to the sequential one (see runPar).
-func (s *Searcher) run(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result, error) {
+// goal ends it. The emit hook, when non-nil, streams finalized results (see
+// FindRangeStream). Workers > 1 selects the pipelined parallel engine,
+// which returns results bit-identical to the sequential one (see runPar).
+func (s *Searcher) run(ctx context.Context, tauLow, tauHigh int, emit func(*Result) error) ([]*Result, error) {
 	if s.Opt.Workers > 1 {
-		return s.runPar(tauLow, tauHigh, onGoal)
+		return s.runPar(ctx, tauLow, tauHigh, emit)
 	}
-	return s.runSeq(tauLow, tauHigh, onGoal)
+	return s.runSeq(ctx, tauLow, tauHigh, emit)
+}
+
+// resultSink collects the goals of one run and streams them to an optional
+// emit hook with a one-goal lag: the most recent goal stays held because a
+// later goal of equal cost supersedes it (the Definition 4 tie-break by
+// smaller data distance). Everything before the held tail is final and is
+// delivered eagerly; finish flushes the tail once the run is over and its
+// stats are final.
+type resultSink struct {
+	results []*Result
+	emit    func(*Result) error
+	emitted int
+}
+
+// add records a goal, superseding the held tail on an equal-cost tie, and
+// streams every result that just became final.
+func (k *resultSink) add(r *Result) error {
+	if n := len(k.results); n > 0 && math.Abs(k.results[n-1].Cost-r.Cost) < 1e-9 {
+		// The superseded tail was never emitted: flush stops short of it.
+		k.results[n-1] = r
+	} else {
+		k.results = append(k.results, r)
+	}
+	return k.flush(len(k.results) - 1)
+}
+
+// finish flushes the held tail; the caller must have finalized its stats.
+func (k *resultSink) finish() error { return k.flush(len(k.results)) }
+
+func (k *resultSink) flush(upTo int) error {
+	for k.emit != nil && k.emitted < upTo {
+		if err := k.emit(k.results[k.emitted]); err != nil {
+			return err
+		}
+		k.emitted++
+	}
+	return nil
 }
 
 // runSeq is the sequential engine: everything happens on the calling
 // goroutine against the searcher's own analysis and cost cache.
-func (s *Searcher) runSeq(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result, error) {
+func (s *Searcher) runSeq(ctx context.Context, tauLow, tauHigh int, emit func(*Result) error) ([]*Result, error) {
 	start := time.Now()
 	stats := Stats{}
+	defer func() { s.lastStats = stats }()
 	tau := tauHigh
 	sigma := s.An.Sigma
 	width := s.An.In.Schema.Width()
@@ -278,7 +344,7 @@ func (s *Searcher) runSeq(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result,
 		return s.h.gc(st, s.ds, tau)
 	}
 
-	var results []*Result
+	sink := resultSink{emit: emit}
 	pq := &openList{}
 	heap.Init(pq)
 	seq := 0
@@ -288,8 +354,13 @@ func (s *Searcher) runSeq(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result,
 	var childBuf []State
 
 	for pq.Len() > 0 && tau >= tauLow {
+		if ctx.Err() != nil {
+			stats.Duration = time.Since(start)
+			return nil, context.Cause(ctx)
+		}
 		if stats.Visited >= s.Opt.MaxVisited {
-			return nil, fmt.Errorf("search: aborted after visiting %d states (MaxVisited)", stats.Visited)
+			stats.Duration = time.Since(start)
+			return nil, &MaxVisitedError{Stats: stats}
 		}
 		n := heap.Pop(pq).(*node)
 		stats.Visited++
@@ -307,14 +378,10 @@ func (s *Searcher) runSeq(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result,
 			// Definition 4 breaks dist_c ties by the smaller data distance:
 			// a later goal with equal cost has strictly smaller δP (τ was
 			// tightened below the previous goal's δP before it was found),
-			// so it supersedes the previous result instead of joining it.
-			if k := len(results); k > 0 && math.Abs(results[k-1].Cost-r.Cost) < 1e-9 {
-				results[k-1] = r
-			} else {
-				results = append(results, r)
-			}
-			if onGoal != nil {
-				onGoal(r)
+			// so it supersedes the previous result instead of joining it —
+			// the sink holds the tail back until it is final.
+			if err := sink.add(r); err != nil {
+				return nil, err
 			}
 			// Demand strictly fewer data changes for the next repair
 			// (Algorithm 6, line 10) and re-estimate the open list under
@@ -347,10 +414,22 @@ func (s *Searcher) runSeq(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result,
 		}
 	}
 	stats.Duration = time.Since(start)
-	for _, r := range results {
+	// A cancel that raced the final iterations must not be reported as
+	// success: callers streaming partial results rely on the Canceled
+	// verdict to know the frontier is incomplete.
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	// Stamp the full-run stats on the results not yet delivered (all of
+	// them in batch mode); already-emitted results keep their documented
+	// effort-so-far snapshots.
+	for _, r := range sink.results[sink.emitted:] {
 		r.Stats = stats
 	}
-	return results, nil
+	if err := sink.finish(); err != nil {
+		return nil, err
+	}
+	return sink.results, nil
 }
 
 // runPar is the parallel engine behind Options.Workers: the same A* loop
@@ -375,9 +454,10 @@ func (s *Searcher) runSeq(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result,
 // sequence — and therefore results, goal order, and stats — matches runSeq
 // exactly. Stats count logical evaluations: discarded speculative work is
 // not reported, so effort numbers stay comparable across worker counts.
-func (s *Searcher) runPar(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result, error) {
+func (s *Searcher) runPar(ctx context.Context, tauLow, tauHigh int, emit func(*Result) error) ([]*Result, error) {
 	start := time.Now()
 	stats := Stats{}
+	defer func() { s.lastStats = stats }()
 	tau := tauHigh
 	sigma := s.An.Sigma
 	width := s.An.In.Schema.Width()
@@ -388,10 +468,14 @@ func (s *Searcher) runPar(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result,
 		return nil, nil
 	}
 
+	// The deferred close drains every in-flight and queued task before the
+	// workers exit and their forks are released, so an early return — error,
+	// cancellation, emit abort — never leaks a goroutine and never recycles
+	// a fork a worker is still touching.
 	pool := newEvalPool(s, s.Opt.Workers)
 	defer pool.close()
 
-	var results []*Result
+	sink := resultSink{emit: emit}
 	pq := &openList{}
 	heap.Init(pq)
 	seq := 0
@@ -408,9 +492,15 @@ func (s *Searcher) runPar(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result,
 	var scoreBuf []childScore
 	var prefetch *coverTask // speculative goal test of the predicted next pop
 	for pq.Len() > 0 && tau >= tauLow {
+		if ctx.Err() != nil {
+			prefetch.discard()
+			stats.Duration = time.Since(start)
+			return nil, context.Cause(ctx)
+		}
 		if stats.Visited >= s.Opt.MaxVisited {
 			prefetch.discard()
-			return nil, fmt.Errorf("search: aborted after visiting %d states (MaxVisited)", stats.Visited)
+			stats.Duration = time.Since(start)
+			return nil, &MaxVisitedError{Stats: stats}
 		}
 		n := heap.Pop(pq).(*node)
 		stats.Visited++
@@ -442,13 +532,10 @@ func (s *Searcher) runPar(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result,
 				Stats:     stats,
 			}
 			// Same tie-break-by-data-distance replacement as runSeq.
-			if k := len(results); k > 0 && math.Abs(results[k-1].Cost-r.Cost) < 1e-9 {
-				results[k-1] = r
-			} else {
-				results = append(results, r)
-			}
-			if onGoal != nil {
-				onGoal(r)
+			if err := sink.add(r); err != nil {
+				batch.discard()
+				prefetch.discard()
+				return nil, err
 			}
 			tau = coverSize*s.alpha - 1
 			if tau < tauLow || tau < s.floor {
@@ -489,10 +576,19 @@ func (s *Searcher) runPar(tauLow, tauHigh int, onGoal func(*Result)) ([]*Result,
 	}
 	prefetch.discard()
 	stats.Duration = time.Since(start)
-	for _, r := range results {
+	// Same as runSeq: a cancel racing the final iterations wins over a
+	// completed-looking sweep, and only unemitted results get the final
+	// stats stamp.
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	for _, r := range sink.results[sink.emitted:] {
 		r.Stats = stats
 	}
-	return results, nil
+	if err := sink.finish(); err != nil {
+		return nil, err
+	}
+	return sink.results, nil
 }
 
 // matchDiffs extracts the difference sets of the analysis' matching

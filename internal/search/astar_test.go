@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -24,7 +25,7 @@ func paperSearcher(t *testing.T, heuristic bool) *Searcher {
 func TestPaperTau2(t *testing.T) {
 	for _, heuristic := range []bool{true, false} {
 		s := paperSearcher(t, heuristic)
-		res, err := s.Find(2)
+		res, err := s.Find(context.Background(), 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +50,7 @@ func TestPaperTau2(t *testing.T) {
 // the data fully, keep Σ unchanged.
 func TestPaperTauLarge(t *testing.T) {
 	s := paperSearcher(t, true)
-	res, err := s.Find(s.DeltaPOriginal())
+	res, err := s.Find(context.Background(), s.DeltaPOriginal())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestPaperTauLarge(t *testing.T) {
 // relax the FDs until no violations remain.
 func TestPaperTau0(t *testing.T) {
 	s := paperSearcher(t, true)
-	res, err := s.Find(0)
+	res, err := s.Find(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestAStarMatchesBestFirst(t *testing.T) {
 		bFirst := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true})
 		dp := aStar.DeltaPOriginal()
 		for _, tau := range []int{0, 1, dp / 2, dp} {
-			r1, err := aStar.Find(tau)
+			r1, err := aStar.Find(context.Background(), tau)
 			if err != nil {
 				t.Fatal(err)
 			}
-			r2, err := bFirst.Find(tau)
+			r2, err := bFirst.Find(context.Background(), tau)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,8 +131,8 @@ func TestAStarVisitsAtMostBestFirst(t *testing.T) {
 		sigma := testkit.RandomFDs(rng, 5, 1, 2)
 		aStar := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
 		bFirst := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true})
-		r1, _ := aStar.Find(0)
-		r2, _ := bFirst.Find(0)
+		r1, _ := aStar.Find(context.Background(), 0)
+		r2, _ := bFirst.Find(context.Background(), 0)
 		if r1 == nil || r2 == nil {
 			continue
 		}
@@ -151,7 +152,7 @@ func TestAStarVisitsAtMostBestFirst(t *testing.T) {
 // strictly increase while δP strictly decreases.
 func TestFindRangeEnumeratesTrustSpectrum(t *testing.T) {
 	s := paperSearcher(t, true)
-	res, err := s.FindRange(0, s.DeltaPOriginal())
+	res, err := s.FindRange(context.Background(), 0, s.DeltaPOriginal())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,14 +185,14 @@ func TestFindRangeMatchesRepeatedFind(t *testing.T) {
 		sigma := testkit.RandomFDs(rng, 4, 1, 2)
 		s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
 		dp := s.DeltaPOriginal()
-		rangeRes, err := s.FindRange(0, dp)
+		rangeRes, err := s.FindRange(context.Background(), 0, dp)
 		if err != nil {
 			t.Fatal(err)
 		}
 		tau := dp
 		for _, r := range rangeRes {
 			fresh := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
-			single, err := fresh.Find(tau)
+			single, err := fresh.Find(context.Background(), tau)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -208,7 +209,7 @@ func TestFindRangeMatchesRepeatedFind(t *testing.T) {
 
 func TestFindRangeRejectsInvertedRange(t *testing.T) {
 	s := paperSearcher(t, true)
-	if _, err := s.FindRange(5, 1); err == nil {
+	if _, err := s.FindRange(context.Background(), 5, 1); err == nil {
 		t.Error("inverted range must error")
 	}
 }
@@ -216,7 +217,7 @@ func TestFindRangeRejectsInvertedRange(t *testing.T) {
 func TestMaxVisitedGuard(t *testing.T) {
 	in, sigma := testkit.Paper4x4()
 	s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true, MaxVisited: 1})
-	if _, err := s.Find(0); err == nil {
+	if _, err := s.Find(context.Background(), 0); err == nil {
 		t.Error("MaxVisited=1 should abort a τ=0 search that needs expansion")
 	}
 }
@@ -229,7 +230,7 @@ func TestInfeasibleTau(t *testing.T) {
 	})
 	sigma := fd.MustParseSet(in.Schema, "A->B")
 	s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{})
-	res, err := s.Find(0)
+	res, err := s.Find(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestInfeasibleTau(t *testing.T) {
 	}
 	// With τ = 1 the pair can be repaired by data changes alone:
 	// |C2opt| = 1 and α = 1.
-	res, err = s.Find(1)
+	res, err = s.Find(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestDistinctCountWeighting(t *testing.T) {
 	sigma := fd.MustParseSet(in.Schema, "A->B")
 	w := weights.NewDistinctCount(in)
 	s := NewSearcher(conflict.New(in, sigma), w, Options{})
-	res, err := s.Find(0)
+	res, err := s.Find(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -69,22 +70,22 @@ func TestParallelMatchesSequential(t *testing.T) {
 					Options{BestFirst: !heuristic, Workers: workers, NoPartitionCache: noCache})
 				dp := seqS.DeltaPOriginal()
 
-				seqRange, err := seqS.FindRange(0, dp)
+				seqRange, err := seqS.FindRange(context.Background(), 0, dp)
 				if err != nil {
 					t.Fatal(err)
 				}
-				parRange, err := parS.FindRange(0, dp)
+				parRange, err := parS.FindRange(context.Background(), 0, dp)
 				if err != nil {
 					t.Fatal(err)
 				}
 				checkSameResults(t, "FindRange "+label, seqRange, parRange)
 
 				for _, tau := range []int{0, 1, dp / 2, dp} {
-					r1, err := seqS.Find(tau)
+					r1, err := seqS.Find(context.Background(), tau)
 					if err != nil {
 						t.Fatal(err)
 					}
-					r2, err := parS.Find(tau)
+					r2, err := parS.Find(context.Background(), tau)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -114,7 +115,7 @@ func TestPartitionCacheReducesRefinement(t *testing.T) {
 	run := func(noCache bool) ([]*Result, conflict.CoverStats) {
 		s := NewSearcher(conflict.New(in, sigma), weights.NewDistinctCount(in),
 			Options{Workers: 4, NoPartitionCache: noCache})
-		res, err := s.FindRange(0, s.DeltaPOriginal())
+		res, err := s.FindRange(context.Background(), 0, s.DeltaPOriginal())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func TestPartitionCacheReducesRefinement(t *testing.T) {
 func TestParallelMaxVisitedGuard(t *testing.T) {
 	in, sigma := testkit.Paper4x4()
 	s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true, MaxVisited: 1, Workers: 4})
-	if _, err := s.Find(0); err == nil {
+	if _, err := s.Find(context.Background(), 0); err == nil {
 		t.Error("MaxVisited=1 should abort a τ=0 search that needs expansion")
 	}
 }
@@ -155,12 +156,12 @@ func TestParallelMaxVisitedGuard(t *testing.T) {
 func TestParallelSearcherReuse(t *testing.T) {
 	in, sigma := testkit.Paper4x4()
 	s := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{Workers: 4})
-	ref, err := s.Find(2)
+	ref, err := s.Find(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		r, err := s.Find(2)
+		r, err := s.Find(context.Background(), 2)
 		if err != nil {
 			t.Fatal(err)
 		}

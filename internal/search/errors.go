@@ -1,0 +1,27 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMaxVisited is the sentinel matched by errors.Is when a search was
+// aborted by the Options.MaxVisited runaway guard. The error actually
+// returned is a *MaxVisitedError carrying the search effort at the abort.
+var ErrMaxVisited = errors.New("search: max visited states exceeded")
+
+// MaxVisitedError reports a search aborted by Options.MaxVisited. It
+// matches ErrMaxVisited under errors.Is and carries the effort spent up to
+// the abort, so callers can decide whether to retry with a higher cap.
+type MaxVisitedError struct {
+	// Stats is the search effort at the moment the guard fired;
+	// Stats.Visited equals the MaxVisited cap that was hit.
+	Stats Stats
+}
+
+func (e *MaxVisitedError) Error() string {
+	return fmt.Sprintf("search: aborted after visiting %d states (MaxVisited)", e.Stats.Visited)
+}
+
+// Is reports sentinel identity so errors.Is(err, ErrMaxVisited) holds.
+func (e *MaxVisitedError) Is(target error) bool { return target == ErrMaxVisited }

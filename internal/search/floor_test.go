@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestFeasibilityFloorDetectsPermanentConflicts(t *testing.T) {
 	if s.FeasibilityFloor() != 1 {
 		t.Fatalf("floor = %d, want 1 (α=1, one permanent pair)", s.FeasibilityFloor())
 	}
-	res, err := s.Find(0)
+	res, err := s.Find(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestFeasibilityFloorDetectsPermanentConflicts(t *testing.T) {
 		t.Fatal("τ=0 must be infeasible")
 	}
 	// The floor path must not have expanded anything (instant φ).
-	res2, err := s.Find(1)
+	res2, err := s.Find(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFeasibilityFloorConsistentWithSearch(t *testing.T) {
 			if tau < 0 {
 				continue
 			}
-			res, err := s.Find(tau)
+			res, err := s.Find(context.Background(), tau)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -81,7 +82,7 @@ func TestFeasibilityFloorConsistentWithSearch(t *testing.T) {
 		}
 		// At τ = floor the search may or may not succeed (the floor is a
 		// lower bound, not exact); at τ = δP(Σ,I) it always succeeds.
-		res, err := s.Find(s.DeltaPOriginal())
+		res, err := s.Find(context.Background(), s.DeltaPOriginal())
 		if err != nil {
 			t.Fatal(err)
 		}

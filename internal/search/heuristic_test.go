@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -25,7 +26,7 @@ func TestGCAdmissibility(t *testing.T) {
 		oracle := NewSearcher(conflict.New(in, sigma), weights.AttrCount{}, Options{BestFirst: true})
 		dp := oracle.DeltaPOriginal()
 		for _, tau := range []int{0, 1, dp / 2, dp} {
-			truth, err := oracle.Find(tau)
+			truth, err := oracle.Find(context.Background(), tau)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,7 +59,7 @@ func TestGCInfinityImpliesInfeasible(t *testing.T) {
 				continue
 			}
 			infSeen++
-			truth, err := oracle.Find(tau)
+			truth, err := oracle.Find(context.Background(), tau)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -100,7 +101,7 @@ func TestKnapsackTightensWideDiffsets(t *testing.T) {
 	if rootGC < 1 {
 		t.Fatalf("gc(root) = %v, want ≥ 1", rootGC)
 	}
-	res, err := s.Find(0)
+	res, err := s.Find(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,16 @@
 // sequential engine's seq tie-breakers, and discards (never reuses)
 // speculative work invalidated by a goal. Find, FindRange, goal order,
 // costs, cover sizes, and effort stats all match Workers: 1 exactly.
+//
+// # Cancellation and errors
+//
+// Every search entry point takes a context.Context, checked once per
+// open-list pop; cancellation aborts with context.Cause(ctx), after
+// draining any in-flight worker tasks so forks return to their pools
+// clean. FindRangeStream delivers results as they are proven final (see
+// its doc for the one-goal lag that preserves Definition 4's tie-break).
+// The MaxVisited runaway guard reports a *MaxVisitedError matching the
+// ErrMaxVisited sentinel and carrying the abort-time Stats.
 package search
 
 import (

@@ -6,6 +6,9 @@
 package testkit
 
 import (
+	"runtime"
+	"time"
+
 	"fmt"
 	"math/rand"
 
@@ -156,4 +159,29 @@ func IsVertexCover(edges [][2]int, cover []int32) bool {
 		}
 	}
 	return true
+}
+
+// WaitGoroutineBaseline polls until the goroutine count returns to the
+// recorded baseline, failing t after two seconds. Cancellation tests use
+// it to prove worker pools drain: workers unwind asynchronously after
+// their task channel closes, so a single instantaneous read races.
+func WaitGoroutineBaseline(t TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TB is the subset of testing.TB the helpers need (avoids importing
+// testing into non-test code).
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
 }

@@ -15,20 +15,40 @@
 //
 // # Quick start
 //
+// A Repairer is the handle over one (instance, Σ) pair: it validates the
+// inputs once, owns the warm analysis state, and streams the Pareto
+// frontier as each trust level finishes:
+//
 //	inst, _ := relatrust.ReadCSVFile("people.csv")
 //	sigma, _ := relatrust.ParseFDs(inst.Schema, "Surname,GivenName->Income")
-//	repairs, _ := relatrust.SuggestRepairs(inst, sigma, relatrust.Options{})
-//	for _, r := range repairs {
+//	rp, err := relatrust.NewRepairer(inst, sigma, relatrust.Options{})
+//	if err != nil { ... }
+//	for r, err := range rp.Frontier(ctx) {
+//	    if err != nil { ... }
 //	    fmt.Println(r)
 //	}
+//
+// Every Repairer method takes a context.Context: cancelling it aborts the
+// FD-modification search promptly and returns context.Cause(ctx).
+// Failures are structured — errors.Is recognizes ErrEmptyFDSet,
+// ErrSchemaMismatch, ErrMaxVisited (a *MaxVisitedError carrying the
+// search effort), and ErrNoRepairInBudget. Long sweeps are observable
+// through Options.Progress.
+//
+// The free functions (SuggestRepairs, RepairWithBudget, MaxBudget, …) are
+// back-compat wrappers that construct a Repairer and collect the stream
+// with context.Background().
 //
 // The heavy lifting lives in the internal packages (relation, fd, conflict,
 // search, repair, …); this package is the stable entry point.
 package relatrust
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"iter"
 
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
@@ -60,10 +80,54 @@ type (
 	FDSet = fd.Set
 	// Repair is one suggested (Σ′, I′) pair with its bookkeeping.
 	Repair = repair.Repair
+	// DataRepair is a data-only repair: the V-instance and its changed
+	// cells for a fixed FD set.
+	DataRepair = repair.DataRepair
 	// SearchStats reports the effort of the FD-modification search.
 	SearchStats = search.Stats
 	// WeightFunc prices appended LHS attributes.
 	WeightFunc = weights.Func
+	// ProgressEvent is one observation of a running frontier sweep,
+	// delivered to Options.Progress.
+	ProgressEvent = repair.ProgressEvent
+	// ProgressKind names the sweep milestones a ProgressEvent reports.
+	ProgressKind = repair.ProgressKind
+	// MaxVisitedError is the typed form of ErrMaxVisited; errors.As
+	// recovers the SearchStats at the abort.
+	MaxVisitedError = search.MaxVisitedError
+	// SchemaMismatchError is the typed form of ErrSchemaMismatch, naming
+	// the offending FD.
+	SchemaMismatchError = repair.SchemaMismatchError
+	// BudgetError is the typed form of ErrNoRepairInBudget, carrying τ.
+	BudgetError = repair.BudgetError
+)
+
+// Progress milestones (see ProgressEvent).
+const (
+	ProgressSweepStarted  = repair.ProgressSweepStarted
+	ProgressTauFinished   = repair.ProgressTauFinished
+	ProgressTauStarted    = repair.ProgressTauStarted
+	ProgressSweepFinished = repair.ProgressSweepFinished
+)
+
+// Structured failure modes of the repair entry points, matched with
+// errors.Is. The returned errors may be typed wrappers carrying detail
+// (MaxVisitedError, SchemaMismatchError, BudgetError). Cancellation is
+// reported as the cancelled context's cause — errors.Is(err,
+// context.Canceled) for a plain cancel.
+var (
+	// ErrEmptyFDSet: the FD set Σ has no dependencies to repair against.
+	ErrEmptyFDSet = repair.ErrEmptyFDSet
+	// ErrEmptyInstance: the instance has no tuples.
+	ErrEmptyInstance = repair.ErrEmptyInstance
+	// ErrSchemaMismatch: an FD references attributes outside the
+	// instance's schema.
+	ErrSchemaMismatch = repair.ErrSchemaMismatch
+	// ErrNoRepairInBudget: no FD relaxation fits the requested τ — the
+	// paper's (φ, φ) answer, reported by Repairer.RepairWithBudget.
+	ErrNoRepairInBudget = repair.ErrNoRepairInBudget
+	// ErrMaxVisited: the FD-modification search hit Options.MaxVisited.
+	ErrMaxVisited = search.ErrMaxVisited
 )
 
 // NewSchema builds a schema from attribute names.
@@ -96,6 +160,10 @@ func ParseFDs(s *Schema, specs string) (FDSet, error) { return fd.ParseSet(s, sp
 // sampling): every call after the first forks the warm analysis instead
 // of re-scanning the instance. The instance must not be mutated while the
 // session is in use. Sessions are safe for concurrent use.
+//
+// A Repairer owns a Session implicitly; explicit Sessions remain useful to
+// share state across several Repairers (or free-function calls) over the
+// same instance.
 type Session struct {
 	eng *session.Engine
 }
@@ -115,7 +183,8 @@ type Options struct {
 	// Seed drives the randomized data-repair order; fixed seeds give
 	// reproducible repairs.
 	Seed int64
-	// MaxVisited aborts runaway searches (0 = a large default).
+	// MaxVisited aborts runaway searches (0 = a large default). The abort
+	// is reported as ErrMaxVisited.
 	MaxVisited int
 	// Workers sets the parallelism of the FD-modification search: successor
 	// evaluation, goal tests, and open-list re-estimation run on this many
@@ -124,12 +193,17 @@ type Options struct {
 	Workers int
 	// Session, when non-nil, shares analysis state across calls over the
 	// same instance (see NewSession). Nil gives every call a private
-	// engine.
+	// engine (every Repairer, a private session).
 	Session *Session
 	// NoPartitionCache disables the parallel search engine's per-worker
 	// partition cache. Results are identical either way; the knob exists
 	// for memory-constrained runs and measurements.
 	NoPartitionCache bool
+	// Progress, when non-nil, observes frontier sweeps: τ levels starting
+	// and finishing, states visited, and the partition-cache hit rate.
+	// Callbacks run synchronously on the sweeping goroutine and must be
+	// fast; they must not call back into the Repairer.
+	Progress func(ProgressEvent)
 }
 
 func (o Options) config(in *Instance) repair.Config {
@@ -145,8 +219,9 @@ func (o Options) config(in *Instance) repair.Config {
 			Workers:          o.Workers,
 			NoPartitionCache: o.NoPartitionCache,
 		},
-		Seed:   o.Seed,
-		Engine: o.engine(),
+		Seed:     o.Seed,
+		Engine:   o.engine(),
+		Progress: o.Progress,
 	}
 }
 
@@ -168,47 +243,125 @@ func DistinctCountWeights(in *Instance) WeightFunc { return weights.NewDistinctC
 // EntropyWeights prices an extension by the entropy of its projection.
 func EntropyWeights(in *Instance) WeightFunc { return weights.NewEntropy(in) }
 
+// Repairer is the handle over one (instance, Σ) pair: inputs are validated
+// once at construction, and every repair entry point — the streaming
+// Frontier, single-budget repairs, data-only repairs, sampling — runs
+// against the same warm session engine, so repeated calls fork cached
+// analysis state instead of re-scanning the instance.
+//
+// The instance must not be mutated while the Repairer is in use. A
+// Repairer is safe for concurrent use: each method call acquires private
+// scratch from the shared engine.
+type Repairer struct {
+	in    *Instance
+	sigma FDSet
+	opt   Options
+}
+
+// NewRepairer validates the pair and returns the handle. Errors are
+// structured: ErrEmptyFDSet, ErrEmptyInstance, or a *SchemaMismatchError
+// (errors.Is(err, ErrSchemaMismatch)). If opt.Session is nil the Repairer
+// creates and owns a private session over the instance.
+func NewRepairer(in *Instance, sigma FDSet, opt Options) (*Repairer, error) {
+	if err := repair.Validate(in, sigma); err != nil {
+		return nil, err
+	}
+	if opt.Session == nil {
+		opt.Session = NewSession(in)
+	}
+	return &Repairer{in: in, sigma: sigma, opt: opt}, nil
+}
+
+// Instance returns the instance the Repairer was built over.
+func (r *Repairer) Instance() *Instance { return r.in }
+
+// Sigma returns the FD set the Repairer was built over.
+func (r *Repairer) Sigma() FDSet { return r.sigma }
+
+// errStopFrontier signals that the consumer of a Frontier stream broke out
+// of the range loop; it never escapes the iterator.
+var errStopFrontier = errors.New("relatrust: frontier consumer stopped")
+
+// Frontier implements the paper's Algorithm 6 across the entire
+// relative-trust spectrum as a stream: it yields one repair per distinct
+// trust level, ordered from "trust the FDs" (data-only repair, unchanged
+// Σ) to "trust the data" (FD-only repair, unchanged I), each Pareto point
+// delivered the moment its trust level is finalized. The yielded sequence
+// is exactly SuggestRepairs' result — same repairs, same order — except
+// that each point's Stats snapshot the search effort up to that point
+// rather than the whole sweep's.
+//
+// The sweep stops when the consumer breaks out of the loop. On failure —
+// including cancellation, reported as context.Cause(ctx) — the iterator
+// yields one final (nil, err) pair. Iterating the returned sequence again
+// re-runs the sweep.
+func (r *Repairer) Frontier(ctx context.Context) iter.Seq2[*Repair, error] {
+	return r.frontier(ctx, 0, -1)
+}
+
+// FrontierRange restricts Frontier to τ ∈ [tauLow, tauHigh].
+func (r *Repairer) FrontierRange(ctx context.Context, tauLow, tauHigh int) iter.Seq2[*Repair, error] {
+	return r.frontier(ctx, tauLow, tauHigh)
+}
+
+// frontier is the shared iterator; tauHigh < 0 means δP(Σ, I).
+func (r *Repairer) frontier(ctx context.Context, tauLow, tauHigh int) iter.Seq2[*Repair, error] {
+	return func(yield func(*Repair, error) bool) {
+		s, err := repair.NewSession(r.in, r.sigma, r.opt.config(r.in))
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		defer s.Close()
+		high := tauHigh
+		if high < 0 {
+			high = s.DeltaPOriginal()
+		}
+		err = s.StreamRange(ctx, tauLow, high, func(rep *Repair) error {
+			if !yield(rep, nil) {
+				return errStopFrontier
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStopFrontier) {
+			yield(nil, err)
+		}
+	}
+}
+
 // RepairWithBudget implements the paper's Algorithm 1 for one trust level:
 // it returns the repair (Σ′, I′) whose FD set is closest to sigma among
-// all relaxations reachable with at most tau cell changes, or nil if no
-// relaxation fits the budget. I′ satisfies Σ′ and differs from the input
-// in at most tau cells.
-func RepairWithBudget(in *Instance, sigma FDSet, tau int, opt Options) (*Repair, error) {
+// all relaxations reachable with at most tau cell changes. When no
+// relaxation fits the budget it returns a *BudgetError matching
+// ErrNoRepairInBudget. I′ satisfies Σ′ and differs from the input in at
+// most tau cells.
+func (r *Repairer) RepairWithBudget(ctx context.Context, tau int) (*Repair, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("relatrust: negative cell-change budget %d", tau)
 	}
-	return repair.Run(in, sigma, tau, opt.config(in))
-}
-
-// SuggestRepairs implements the paper's Algorithm 6 across the entire
-// relative-trust spectrum: it returns one repair per distinct trust level,
-// ordered from "trust the FDs" (data-only repair, unchanged Σ) to "trust
-// the data" (FD-only repair, unchanged I). The results are Pareto-optimal
-// with respect to (FD distance, cell changes).
-func SuggestRepairs(in *Instance, sigma FDSet, opt Options) ([]*Repair, error) {
-	s, err := repair.NewSession(in, sigma, opt.config(in))
+	s, err := repair.NewSession(r.in, r.sigma, r.opt.config(r.in))
 	if err != nil {
 		return nil, err
 	}
 	defer s.Close()
-	return s.RunRange(0, s.DeltaPOriginal())
-}
-
-// SuggestRepairsInRange restricts SuggestRepairs to τ ∈ [tauLow, tauHigh].
-func SuggestRepairsInRange(in *Instance, sigma FDSet, tauLow, tauHigh int, opt Options) ([]*Repair, error) {
-	s, err := repair.NewSession(in, sigma, opt.config(in))
+	rep, err := s.Run(ctx, tau)
 	if err != nil {
 		return nil, err
 	}
-	defer s.Close()
-	return s.RunRange(tauLow, tauHigh)
+	if rep == nil {
+		return nil, &repair.BudgetError{Tau: tau}
+	}
+	return rep, nil
 }
 
 // MaxBudget returns δP(Σ, I): the cell-change budget beyond which the data
 // can always be repaired without touching Σ. It is the natural upper end
 // of the τ range and the denominator of relative trust τr = τ/δP.
-func MaxBudget(in *Instance, sigma FDSet, opt Options) (int, error) {
-	s, err := repair.NewSession(in, sigma, opt.config(in))
+func (r *Repairer) MaxBudget(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, context.Cause(ctx)
+	}
+	s, err := repair.NewSession(r.in, r.sigma, r.opt.config(r.in))
 	if err != nil {
 		return 0, err
 	}
@@ -216,22 +369,107 @@ func MaxBudget(in *Instance, sigma FDSet, opt Options) (int, error) {
 	return s.DeltaPOriginal(), nil
 }
 
-// SampleRepairs draws up to k distinct data repairs for a fixed FD set
-// (no FD modification), exposing the different minimal ways the
-// violations can be resolved; see the paper's reference [3].
-func SampleRepairs(in *Instance, sigma FDSet, k int, opt Options) ([]*repair.DataRepair, error) {
-	return repair.SampleDataRepairs(in, sigma, k, opt.Seed, 0, opt.engine())
+// Sample draws up to k distinct data repairs for the fixed FD set (no FD
+// modification), exposing the different minimal ways the violations can be
+// resolved; see the paper's reference [3]. Cancelling ctx aborts between
+// draws with context.Cause(ctx).
+func (r *Repairer) Sample(ctx context.Context, k int) ([]*DataRepair, error) {
+	return repair.SampleDataRepairs(ctx, r.in, r.sigma, k, r.opt.Seed, 0, r.opt.engine())
 }
 
-// RepairDataOnly materializes a data repair for a fixed FD set without
+// RepairDataOnly materializes a data repair for the fixed FD set without
 // touching the FDs (the τ = δP end of the spectrum, as classic cleaning
 // systems do). Cells in pinned are hard constraints that must not change;
 // pass nil to allow any cell.
-func RepairDataOnly(in *Instance, sigma FDSet, pinned map[CellRef]bool, opt Options) (*repair.DataRepair, error) {
-	if pinned == nil {
-		return repair.RepairData(in, sigma, nil, opt.Seed)
+func (r *Repairer) RepairDataOnly(ctx context.Context, pinned map[CellRef]bool) (*DataRepair, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
 	}
-	return repair.RepairDataPinned(in, sigma, pinned, opt.Seed)
+	if pinned == nil {
+		return repair.RepairData(r.in, r.sigma, nil, r.opt.Seed, r.opt.engine())
+	}
+	return repair.RepairDataPinned(r.in, r.sigma, pinned, r.opt.Seed, r.opt.engine())
+}
+
+// RepairWithBudget is the back-compat wrapper around
+// Repairer.RepairWithBudget with context.Background(); it keeps the
+// original contract of returning nil (the paper's (φ, φ)) instead of
+// ErrNoRepairInBudget when no relaxation fits the budget.
+func RepairWithBudget(in *Instance, sigma FDSet, tau int, opt Options) (*Repair, error) {
+	r, err := NewRepairer(in, sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := r.RepairWithBudget(context.Background(), tau)
+	if errors.Is(err, ErrNoRepairInBudget) {
+		return nil, nil
+	}
+	return rep, err
+}
+
+// SuggestRepairs is the back-compat wrapper collecting Repairer.Frontier
+// with context.Background(): one repair per distinct trust level, ordered
+// from "trust the FDs" to "trust the data", Pareto-optimal with respect to
+// (FD distance, cell changes).
+func SuggestRepairs(in *Instance, sigma FDSet, opt Options) ([]*Repair, error) {
+	r, err := NewRepairer(in, sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	return collectFrontier(r.Frontier(context.Background()))
+}
+
+// SuggestRepairsInRange restricts SuggestRepairs to τ ∈ [tauLow, tauHigh].
+func SuggestRepairsInRange(in *Instance, sigma FDSet, tauLow, tauHigh int, opt Options) ([]*Repair, error) {
+	r, err := NewRepairer(in, sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	return collectFrontier(r.FrontierRange(context.Background(), tauLow, tauHigh))
+}
+
+// collectFrontier drains a frontier stream into the batch form.
+func collectFrontier(seq iter.Seq2[*Repair, error]) ([]*Repair, error) {
+	var out []*Repair
+	for r, err := range seq {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MaxBudget is the back-compat wrapper around Repairer.MaxBudget with
+// context.Background().
+func MaxBudget(in *Instance, sigma FDSet, opt Options) (int, error) {
+	r, err := NewRepairer(in, sigma, opt)
+	if err != nil {
+		return 0, err
+	}
+	return r.MaxBudget(context.Background())
+}
+
+// SampleRepairs is the back-compat wrapper around Repairer.Sample with
+// context.Background().
+func SampleRepairs(in *Instance, sigma FDSet, k int, opt Options) ([]*DataRepair, error) {
+	r, err := NewRepairer(in, sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	return r.Sample(context.Background(), k)
+}
+
+// RepairDataOnly is the back-compat wrapper around Repairer.RepairDataOnly
+// with context.Background(). Unlike the pre-Repairer versions it honors
+// opt.Session — a warm engine also serves the τ = δP end of the spectrum —
+// and validates the pair like every other entry point.
+func RepairDataOnly(in *Instance, sigma FDSet, pinned map[CellRef]bool, opt Options) (*DataRepair, error) {
+	r, err := NewRepairer(in, sigma, opt)
+	if err != nil {
+		return nil, err
+	}
+	return r.RepairDataOnly(context.Background(), pinned)
 }
 
 // Violations reports up to max violating tuple pairs (0 = all; beware of

@@ -1,0 +1,384 @@
+package relatrust_test
+
+// Tests for the context-first streaming facade: the Repairer handle, the
+// Frontier iterator's batch-equivalence pin, cancellation behavior (prompt
+// return, no goroutine leaks, engine hygiene), and the structured errors.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"relatrust"
+
+	"relatrust/internal/experiments"
+	"relatrust/internal/gen"
+	"relatrust/internal/repair"
+	"relatrust/internal/search"
+	"relatrust/internal/testkit"
+	"relatrust/internal/weights"
+)
+
+// multiCSV violates City->ZIP and City->State several times, giving a
+// frontier with multiple trust levels.
+const multiCSV = `City,ZIP,State
+Springfield,62701,IL
+Springfield,62701,IL
+Springfield,97477,OR
+Shelbyville,46176,IN
+Shelbyville,46176,TN
+`
+
+func loadMulti(t *testing.T) (*relatrust.Instance, relatrust.FDSet) {
+	t.Helper()
+	in, err := relatrust.ReadCSV(strings.NewReader(multiCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := relatrust.ParseFDs(in.Schema, "City->ZIP; City->State")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, sigma
+}
+
+// equalRepair compares everything except Stats (streaming snapshots effort
+// mid-sweep; batch stamps the final totals — documented divergence):
+// FD-side bookkeeping, the changed cells, and the repaired values those
+// cells received (variables compare by var-ness, V-instance semantics make
+// their identities immaterial).
+func equalRepair(a, b *relatrust.Repair) bool {
+	if a.Tau != b.Tau || a.DeltaP != b.DeltaP || a.FDCost != b.FDCost ||
+		!a.Sigma.Equal(b.Sigma) || a.Ext.Key() != b.Ext.Key() ||
+		len(a.Data.Changed) != len(b.Data.Changed) {
+		return false
+	}
+	for i := range a.Data.Changed {
+		ca, cb := a.Data.Changed[i], b.Data.Changed[i]
+		if ca != cb {
+			return false
+		}
+		va := a.Data.Instance.Tuples[ca.Tuple][ca.Attr]
+		vb := b.Data.Instance.Tuples[cb.Tuple][cb.Attr]
+		if va.IsVar() != vb.IsVar() || (!va.IsVar() && !va.Equal(vb)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFrontierMatchesBatchRunRange pins the acceptance criterion: the
+// stream collected from Frontier(ctx) must equal, point for point and in
+// order, the pre-Repairer batch path (repair.Session.RunRange with the
+// equivalent config) — on a small CSV fixture and on a generated workload,
+// sequential and parallel.
+func TestFrontierMatchesBatchRunRange(t *testing.T) {
+	type fixture struct {
+		name  string
+		in    *relatrust.Instance
+		sigma relatrust.FDSet
+	}
+	var fixtures []fixture
+
+	in, sigma := loadMulti(t)
+	fixtures = append(fixtures, fixture{"csv", in, sigma})
+
+	spec := gen.SubSpec(gen.CensusSpec(), 10)
+	w, err := experiments.MakeWorkload(spec, gen.TwoFDs(spec), 300, 0.34, 0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, fixture{"census", w.Dirty, w.SigmaD})
+
+	for _, f := range fixtures {
+		for _, workers := range []int{1, 4} {
+			// The batch oracle goes through the internal layer directly, so
+			// this pin survives even though SuggestRepairs itself now
+			// collects the stream.
+			cfg := repair.Config{
+				Weights: weights.NewDistinctCount(f.in),
+				Seed:    7,
+				Search:  search.Options{Workers: workers},
+			}
+			s, err := repair.NewSession(f.in, f.sigma, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := s.RunRange(context.Background(), 0, s.DeltaPOriginal())
+			s.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rp, err := relatrust.NewRepairer(f.in, f.sigma, relatrust.Options{Seed: 7, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var streamed []*relatrust.Repair
+			for r, err := range rp.Frontier(context.Background()) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				streamed = append(streamed, r)
+			}
+
+			if len(batch) == 0 {
+				t.Fatalf("%s: empty frontier makes the pin vacuous", f.name)
+			}
+			if len(batch) != len(streamed) {
+				t.Fatalf("%s workers=%d: batch %d repairs, stream %d", f.name, workers, len(batch), len(streamed))
+			}
+			for i := range batch {
+				if !equalRepair(batch[i], streamed[i]) {
+					t.Fatalf("%s workers=%d: repair %d diverges:\n batch  %v\n stream %v",
+						f.name, workers, i, batch[i], streamed[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierEarlyBreak: breaking out of the range loop stops the sweep
+// cleanly — no error surfaces, goroutines return to baseline, and the
+// Repairer still serves a complete follow-up sweep.
+func TestFrontierEarlyBreak(t *testing.T) {
+	in, sigma := loadMulti(t)
+	rp, err := relatrust.NewRepairer(in, sigma, relatrust.Options{Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := collect(t, rp)
+	if len(full) < 2 {
+		t.Fatalf("need a multi-point frontier, got %d", len(full))
+	}
+
+	baseline := runtime.NumGoroutine()
+	got := 0
+	for r, err := range rp.Frontier(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == nil {
+			t.Fatal("nil repair without error")
+		}
+		got++
+		break
+	}
+	if got != 1 {
+		t.Fatalf("broke after one repair but saw %d", got)
+	}
+	testkit.WaitGoroutineBaseline(t, baseline)
+
+	again := collect(t, rp)
+	if len(again) != len(full) {
+		t.Fatalf("follow-up sweep returned %d repairs, want %d", len(again), len(full))
+	}
+	for i := range full {
+		if !equalRepair(full[i], again[i]) {
+			t.Fatalf("repair %d diverges after an abandoned sweep", i)
+		}
+	}
+}
+
+// TestFrontierCancelMidSweep is the facade half of the cancellation
+// criterion: cancelling during iteration yields errors.Is(err,
+// context.Canceled) as the final pair, goroutines drain, and a session
+// engine used by the cancelled call still serves a correct follow-up.
+func TestFrontierCancelMidSweep(t *testing.T) {
+	in, sigma := loadMulti(t)
+	sess := relatrust.NewSession(in)
+	opt := relatrust.Options{Seed: 1, Workers: 4, Session: sess}
+
+	rp, err := relatrust.NewRepairer(in, sigma, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := collect(t, rp)
+	if len(full) < 2 {
+		t.Fatalf("need a multi-point frontier, got %d", len(full))
+	}
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sawCancel bool
+	var yielded int
+	for r, err := range rp.Frontier(ctx) {
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			sawCancel = true
+			continue
+		}
+		yielded++
+		cancel()
+		_ = r
+	}
+	if !sawCancel {
+		t.Fatal("cancelled sweep ended without reporting context.Canceled")
+	}
+	if yielded >= len(full) {
+		t.Fatalf("cancel was a no-op: all %d repairs yielded", yielded)
+	}
+	testkit.WaitGoroutineBaseline(t, baseline)
+
+	// The shared session survived the cancelled sweep: a fresh Repairer on
+	// the same session reproduces the full frontier.
+	rp2, err := relatrust.NewRepairer(in, sigma, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := collect(t, rp2)
+	if len(again) != len(full) {
+		t.Fatalf("post-cancel sweep returned %d repairs, want %d", len(again), len(full))
+	}
+	for i := range full {
+		if !equalRepair(full[i], again[i]) {
+			t.Fatalf("repair %d diverges after a cancelled sweep on the shared session", i)
+		}
+	}
+}
+
+// TestSampleCancel: a cancelled context aborts Sample (and the
+// SampleRepairs wrapper keeps working without one).
+func TestSampleCancel(t *testing.T) {
+	in, sigma := loadMulti(t)
+	rp, err := relatrust.NewRepairer(in, sigma, relatrust.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rp.Sample(ctx, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	samples, err := rp.Sample(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+// TestStructuredErrors: every documented failure mode is errors.Is-able,
+// and the typed wrappers carry their payloads.
+func TestStructuredErrors(t *testing.T) {
+	in, sigma := loadMulti(t)
+
+	if _, err := relatrust.NewRepairer(in, nil, relatrust.Options{}); !errors.Is(err, relatrust.ErrEmptyFDSet) {
+		t.Errorf("empty Σ: err = %v, want ErrEmptyFDSet", err)
+	}
+
+	empty := relatrust.NewInstance(in.Schema)
+	if _, err := relatrust.NewRepairer(empty, sigma, relatrust.Options{}); !errors.Is(err, relatrust.ErrEmptyInstance) {
+		t.Errorf("empty instance: err = %v, want ErrEmptyInstance", err)
+	}
+
+	wide, err := relatrust.NewSchema("A", "B", "C", "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badFD, err := relatrust.ParseFD(wide, "C->D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = relatrust.NewRepairer(in, relatrust.FDSet{badFD}, relatrust.Options{})
+	if !errors.Is(err, relatrust.ErrSchemaMismatch) {
+		t.Errorf("out-of-schema FD: err = %v, want ErrSchemaMismatch", err)
+	}
+	var sm *relatrust.SchemaMismatchError
+	if !errors.As(err, &sm) || sm.FD.RHS != badFD.RHS {
+		t.Errorf("schema mismatch does not carry the FD: %v", err)
+	}
+
+	rp, err := relatrust.NewRepairer(in, sigma, relatrust.Options{MaxVisited: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// τ = δP−1 sits above the feasibility floor (so the search actually
+	// runs) and below δP (so the root is not an immediate goal): the
+	// one-visit cap must fire.
+	dp, err := rp.MaxBudget(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rp.RepairWithBudget(context.Background(), dp-1)
+	if !errors.Is(err, relatrust.ErrMaxVisited) {
+		t.Errorf("MaxVisited=1: err = %v, want ErrMaxVisited", err)
+	}
+	var mv *relatrust.MaxVisitedError
+	if !errors.As(err, &mv) || mv.Stats.Visited != 1 {
+		t.Errorf("MaxVisited error does not carry stats: %v", err)
+	}
+
+	// An unextendable two-attribute schema at τ=0 has no repair: the
+	// handle reports ErrNoRepairInBudget with τ attached; the back-compat
+	// wrapper keeps returning (nil, nil).
+	two, err := relatrust.ReadCSV(strings.NewReader("City,ZIP\nA,1\nA,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := relatrust.ParseFDs(two.Schema, "City->ZIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp2, err := relatrust.NewRepairer(two, sig2, relatrust.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rp2.RepairWithBudget(context.Background(), 0)
+	if !errors.Is(err, relatrust.ErrNoRepairInBudget) {
+		t.Errorf("infeasible τ: err = %v, want ErrNoRepairInBudget", err)
+	}
+	var be *relatrust.BudgetError
+	if !errors.As(err, &be) || be.Tau != 0 {
+		t.Errorf("budget error does not carry τ: %v", err)
+	}
+	r, err := relatrust.RepairWithBudget(two, sig2, 0, relatrust.Options{})
+	if r != nil || err != nil {
+		t.Errorf("wrapper contract broken: repair=%v err=%v, want nil, nil", r, err)
+	}
+}
+
+// TestFrontierPreCancelled: iterating with an already-cancelled context
+// yields exactly one (nil, context.Canceled) pair.
+func TestFrontierPreCancelled(t *testing.T) {
+	in, sigma := loadMulti(t)
+	rp, err := relatrust.NewRepairer(in, sigma, relatrust.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var repairs, errs int
+	for r, err := range rp.Frontier(ctx) {
+		if err != nil {
+			errs++
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			continue
+		}
+		_ = r
+		repairs++
+	}
+	if repairs != 0 || errs != 1 {
+		t.Fatalf("pre-cancelled frontier yielded %d repairs, %d errors", repairs, errs)
+	}
+}
+
+func collect(t *testing.T, rp *relatrust.Repairer) []*relatrust.Repair {
+	t.Helper()
+	var out []*relatrust.Repair
+	for r, err := range rp.Frontier(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
