@@ -43,7 +43,7 @@ func BenchmarkAblationHeuristicBudget(b *testing.B) {
 				s := search.NewSearcher(an, weights.NewDistinctCount(w.Dirty), search.Options{
 					MaxDiffSets: maxDs,
 				})
-				res, err := s.Find(context.Background(), s.DeltaPOriginal() / 100)
+				res, err := s.Find(context.Background(), s.DeltaPOriginal()/100)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -68,7 +68,7 @@ func BenchmarkAblationEdgeSampling(b *testing.B) {
 				s := search.NewSearcher(an, weights.NewDistinctCount(w.Dirty), search.Options{
 					CapPerCluster: cap,
 				})
-				res, err := s.Find(context.Background(), s.DeltaPOriginal() / 100)
+				res, err := s.Find(context.Background(), s.DeltaPOriginal()/100)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -95,7 +95,7 @@ func BenchmarkAblationWeights(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				an := conflict.New(w.Dirty, w.SigmaD)
 				s := search.NewSearcher(an, mk(), search.DefaultOptions())
-				if _, err := s.Find(context.Background(), s.DeltaPOriginal() / 100); err != nil {
+				if _, err := s.Find(context.Background(), s.DeltaPOriginal()/100); err != nil {
 					b.Fatal(err)
 				}
 			}

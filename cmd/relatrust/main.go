@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,38 +34,75 @@ import (
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "relatrust:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(ctx context.Context) error {
+// run is the testable body of the command: it parses args, executes, and
+// returns the process exit code (0 success, 1 runtime failure, 2 usage).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("relatrust", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataPath  = flag.String("data", "", "CSV file (header row defines the schema)")
-		fdSpec    = flag.String("fds", "", "FDs, e.g. \"A,B->C; D->E\" (or @file to read them from a file)")
-		tau       = flag.Int("tau", -1, "cell-change budget; -1 sweeps the whole trust spectrum")
-		weighting = flag.String("weights", "distinct-count", "FD-modification weighting: attr-count | distinct-count | entropy")
-		bestFirst = flag.Bool("best-first", false, "use best-first search instead of A*")
-		workers   = flag.Int("workers", 0, "parallel evaluation workers for the FD search (0 = GOMAXPROCS, 1 = sequential)")
-		noCache   = flag.Bool("no-cover-cache", false, "disable the parallel search engine's per-worker partition cache (results are identical either way)")
-		seed      = flag.Int64("seed", 1, "seed for the randomized data-repair order")
-		outPath   = flag.String("o", "", "write the repaired data of the last printed repair to this CSV file")
-		showData  = flag.Bool("show-cells", false, "list every changed cell per repair")
-		maxShown  = flag.Int("max-cells", 20, "changed cells to list per repair with -show-cells")
-		progress  = flag.Bool("progress", false, "report sweep progress (τ levels, states visited, cache hit rate) on stderr")
+		dataPath  = fs.String("data", "", "CSV file (header row defines the schema)")
+		fdSpec    = fs.String("fds", "", "FDs, e.g. \"A,B->C; D->E\" (or @file to read them from a file)")
+		tau       = fs.Int("tau", -1, "cell-change budget; -1 sweeps the whole trust spectrum")
+		weighting = fs.String("weights", "distinct-count", "FD-modification weighting: attr-count | distinct-count | entropy")
+		bestFirst = fs.Bool("best-first", false, "use best-first search instead of A*")
+		workers   = fs.Int("workers", 0, "parallel evaluation workers for the FD search (0 = GOMAXPROCS, 1 = sequential)")
+		noCache   = fs.Bool("no-cover-cache", false, "disable the parallel search engine's per-worker partition cache (results are identical either way)")
+		seed      = fs.Int64("seed", 1, "seed for the randomized data-repair order")
+		outPath   = fs.String("o", "", "write the repaired data of the last printed repair to this CSV file")
+		showData  = fs.Bool("show-cells", false, "list every changed cell per repair")
+		maxShown  = fs.Int("max-cells", 20, "changed cells to list per repair with -show-cells")
+		progress  = fs.Bool("progress", false, "report sweep progress (τ levels, states visited, cache hit rate) on stderr")
 	)
-	flag.Parse()
-	if *dataPath == "" || *fdSpec == "" {
-		flag.Usage()
-		return fmt.Errorf("-data and -fds are required")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
+	if *dataPath == "" || *fdSpec == "" {
+		fs.Usage()
+		fmt.Fprintln(stderr, "relatrust: -data and -fds are required")
+		return 2
+	}
+	cfg := cliConfig{
+		dataPath:  *dataPath,
+		fdSpec:    *fdSpec,
+		tau:       *tau,
+		weighting: *weighting,
+		bestFirst: *bestFirst,
+		workers:   *workers,
+		noCache:   *noCache,
+		seed:      *seed,
+		outPath:   *outPath,
+		showData:  *showData,
+		maxShown:  *maxShown,
+		progress:  *progress,
+	}
+	if err := repairMain(ctx, cfg, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "relatrust:", err)
+		return 1
+	}
+	return 0
+}
 
-	in, err := relatrust.ReadCSVFile(*dataPath)
+// cliConfig carries the parsed flags.
+type cliConfig struct {
+	dataPath, fdSpec, weighting, outPath string
+	tau, workers, maxShown               int
+	seed                                 int64
+	bestFirst, noCache                   bool
+	showData, progress                   bool
+}
+
+func repairMain(ctx context.Context, cli cliConfig, stdout, stderr io.Writer) error {
+	in, err := relatrust.ReadCSVFile(cli.dataPath)
 	if err != nil {
 		return err
 	}
-	spec := *fdSpec
+	spec := cli.fdSpec
 	if strings.HasPrefix(spec, "@") {
 		raw, err := os.ReadFile(spec[1:])
 		if err != nil {
@@ -72,13 +110,13 @@ func run(ctx context.Context) error {
 		}
 		spec = string(raw)
 	}
-	w, err := weights.ByName(*weighting, in)
+	w, err := weights.ByName(cli.weighting, in)
 	if err != nil {
 		return err
 	}
 	if strings.Contains(spec, "|") {
 		// Conditional FDs take the CFD engine (single-τ only).
-		return runCFD(ctx, in, spec, *tau, w, *seed)
+		return runCFD(ctx, in, spec, cli.tau, w, cli.seed, stdout)
 	}
 	sigma, err := relatrust.ParseFDs(in.Schema, spec)
 	if err != nil {
@@ -86,18 +124,18 @@ func run(ctx context.Context) error {
 	}
 	opt := relatrust.Options{
 		Weights:          w,
-		BestFirst:        *bestFirst,
-		Seed:             *seed,
-		Workers:          *workers,
-		NoPartitionCache: *noCache,
+		BestFirst:        cli.bestFirst,
+		Seed:             cli.seed,
+		Workers:          cli.workers,
+		NoPartitionCache: cli.noCache,
 	}
-	if *progress {
-		opt.Progress = reportProgress
+	if cli.progress {
+		opt.Progress = progressReporter(stderr)
 	}
 
-	fmt.Printf("%d tuples × %d attributes, Σ = %s\n", in.N(), in.Schema.Width(), sigma.Format(in.Schema))
+	fmt.Fprintf(stdout, "%d tuples × %d attributes, Σ = %s\n", in.N(), in.Schema.Width(), sigma.Format(in.Schema))
 	if relatrust.Satisfies(in, sigma) {
-		fmt.Println("the data already satisfies every FD; nothing to repair")
+		fmt.Fprintln(stdout, "the data already satisfies every FD; nothing to repair")
 		return nil
 	}
 	// The Repairer validates once and owns the warm session engine: the
@@ -110,31 +148,31 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("δP(Σ, I) = %d (cell-change budget for a pure data repair)\n\n", dp)
+	fmt.Fprintf(stdout, "δP(Σ, I) = %d (cell-change budget for a pure data repair)\n\n", dp)
 
 	var repairs []*relatrust.Repair
-	if *tau >= 0 {
-		r, err := rp.RepairWithBudget(ctx, *tau)
+	if cli.tau >= 0 {
+		r, err := rp.RepairWithBudget(ctx, cli.tau)
 		if errors.Is(err, relatrust.ErrNoRepairInBudget) {
-			fmt.Printf("no FD relaxation fits τ=%d; raise the budget\n", *tau)
+			fmt.Fprintf(stdout, "no FD relaxation fits τ=%d; raise the budget\n", cli.tau)
 			return nil
 		}
 		if err != nil {
 			return err
 		}
 		repairs = []*relatrust.Repair{r}
-		if err := report.Spectrum(os.Stdout, in, repairs); err != nil {
+		if err := report.Spectrum(stdout, in, repairs); err != nil {
 			return err
 		}
 	} else {
 		// Stream the frontier: each row appears the moment its trust level
 		// finishes, so slow sweeps show progress and a Ctrl-C keeps the
 		// partial spectrum.
-		sw := report.NewSpectrumWriter(os.Stdout)
+		sw := report.NewSpectrumWriter(stdout)
 		for r, err := range rp.Frontier(ctx) {
 			if err != nil {
 				if errors.Is(err, context.Canceled) {
-					fmt.Printf("\nsweep cancelled after %d of the frontier's repairs\n", sw.Rows())
+					fmt.Fprintf(stdout, "\nsweep cancelled after %d of the frontier's repairs\n", sw.Rows())
 				}
 				return err
 			}
@@ -145,50 +183,52 @@ func run(ctx context.Context) error {
 		}
 	}
 
-	if *showData {
+	if cli.showData {
 		for i, r := range repairs {
-			fmt.Printf("\nchanges of repair %d:\n", i+1)
-			if err := report.Changes(os.Stdout, in, r, report.Options{MaxCells: *maxShown}); err != nil {
+			fmt.Fprintf(stdout, "\nchanges of repair %d:\n", i+1)
+			if err := report.Changes(stdout, in, r, report.Options{MaxCells: cli.maxShown}); err != nil {
 				return err
 			}
 		}
 	}
 
-	if *outPath != "" && len(repairs) > 0 {
+	if cli.outPath != "" && len(repairs) > 0 {
 		last := repairs[len(repairs)-1]
 		ground := last.Data.Instance.Ground("repaired_")
-		if err := writeCSV(*outPath, ground); err != nil {
+		if err := writeCSV(cli.outPath, ground); err != nil {
 			return err
 		}
-		fmt.Printf("wrote repaired data of repair %d to %s\n", len(repairs), *outPath)
+		fmt.Fprintf(stdout, "wrote repaired data of repair %d to %s\n", len(repairs), cli.outPath)
 	}
 	return nil
 }
 
-// reportProgress renders Options.Progress events on stderr.
-func reportProgress(ev relatrust.ProgressEvent) {
-	switch ev.Kind {
-	case relatrust.ProgressSweepStarted:
-		fmt.Fprintf(os.Stderr, "progress: sweep started, τ=%d\n", ev.Tau)
-	case relatrust.ProgressTauFinished:
-		fmt.Fprintf(os.Stderr, "progress: τ=%d finished (%d states visited)\n", ev.Tau, ev.Visited)
-	case relatrust.ProgressTauStarted:
-		fmt.Fprintf(os.Stderr, "progress: continuing under τ=%d\n", ev.Tau)
-	case relatrust.ProgressSweepFinished:
-		fmt.Fprintf(os.Stderr, "progress: sweep finished (%d states visited, cover-cache hit rate %.0f%%)\n",
-			ev.Visited, 100*ev.CacheHitRate)
+// progressReporter renders Options.Progress events on w.
+func progressReporter(w io.Writer) func(relatrust.ProgressEvent) {
+	return func(ev relatrust.ProgressEvent) {
+		switch ev.Kind {
+		case relatrust.ProgressSweepStarted:
+			fmt.Fprintf(w, "progress: sweep started, τ=%d\n", ev.Tau)
+		case relatrust.ProgressTauFinished:
+			fmt.Fprintf(w, "progress: τ=%d finished (%d states visited)\n", ev.Tau, ev.Visited)
+		case relatrust.ProgressTauStarted:
+			fmt.Fprintf(w, "progress: continuing under τ=%d\n", ev.Tau)
+		case relatrust.ProgressSweepFinished:
+			fmt.Fprintf(w, "progress: sweep finished (%d states visited, cover-cache hit rate %.0f%%)\n",
+				ev.Visited, 100*ev.CacheHitRate)
+		}
 	}
 }
 
 // runCFD repairs against conditional FDs (pattern syntax "A,B->C | a,_").
-func runCFD(ctx context.Context, in *relatrust.Instance, spec string, tau int, w weights.Func, seed int64) error {
+func runCFD(ctx context.Context, in *relatrust.Instance, spec string, tau int, w weights.Func, seed int64, stdout io.Writer) error {
 	set, err := cfd.ParseSet(in.Schema, spec)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d tuples, CFDs = %s\n", in.N(), set.Format(in.Schema))
+	fmt.Fprintf(stdout, "%d tuples, CFDs = %s\n", in.N(), set.Format(in.Schema))
 	if set.SatisfiedBy(in) {
-		fmt.Println("the data already satisfies every CFD")
+		fmt.Fprintln(stdout, "the data already satisfies every CFD")
 		return nil
 	}
 	if tau < 0 {
@@ -199,13 +239,13 @@ func runCFD(ctx context.Context, in *relatrust.Instance, spec string, tau int, w
 		return err
 	}
 	if r == nil {
-		fmt.Printf("no CFD relaxation fits τ=%d; raise the budget\n", tau)
+		fmt.Fprintf(stdout, "no CFD relaxation fits τ=%d; raise the budget\n", tau)
 		return nil
 	}
-	fmt.Printf("Σ' = %s\n", r.Set.Format(in.Schema))
-	fmt.Printf("cell changes: %d\n", r.NumChanges())
+	fmt.Fprintf(stdout, "Σ' = %s\n", r.Set.Format(in.Schema))
+	fmt.Fprintf(stdout, "cell changes: %d\n", r.NumChanges())
 	for _, c := range r.Changed {
-		fmt.Printf("  %s: %s → %s\n", c.Format(in.Schema),
+		fmt.Fprintf(stdout, "  %s: %s → %s\n", c.Format(in.Schema),
 			in.Tuples[c.Tuple][c.Attr], r.Instance.Tuples[c.Tuple][c.Attr])
 	}
 	return nil

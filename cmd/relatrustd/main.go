@@ -1,0 +1,135 @@
+// Command relatrustd serves the relative-trust repair spectrum over HTTP.
+//
+// Usage:
+//
+//	relatrustd -addr :8080 [-dataset name=path.csv ...] [flags]
+//
+// Datasets can be preloaded from CSV files at startup with repeated
+// -dataset flags, or registered at runtime via POST /v1/datasets. See
+// package relatrust/internal/server for the endpoint, streaming, and
+// cancellation model, and the README for curl examples.
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight sweeps get a
+// -drain window to finish; if it expires the remaining connections are
+// closed — cancelling their sweeps through the same plumbing a client
+// disconnect uses — and the process exits non-zero.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"relatrust"
+
+	"relatrust/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the daemon: flag parsing, preloading, and
+// the serve-until-cancelled loop. It returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("relatrustd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		maxSweeps = fs.Int("max-sweeps", 2, "maximum concurrent repair sweeps per dataset; further requests wait")
+		workers   = fs.Int("workers", 0, "default search parallelism per sweep (0 = GOMAXPROCS; requests may override)")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
+		datasets  datasetFlags
+	)
+	fs.Var(&datasets, "dataset", "preload a dataset as name=path.csv (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	srv := server.New(server.Options{
+		MaxSweepsPerDataset: *maxSweeps,
+		Workers:             *workers,
+	})
+	for _, d := range datasets {
+		in, err := relatrust.ReadCSVFile(d.path)
+		if err != nil {
+			fmt.Fprintln(stderr, "relatrustd:", err)
+			return 1
+		}
+		info, err := srv.Register(d.name, in)
+		if err != nil {
+			fmt.Fprintln(stderr, "relatrustd:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "relatrustd: preloaded dataset %q (%d tuples × %d attributes)\n",
+			info.Name, info.Tuples, len(info.Attributes))
+	}
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// The streaming endpoint writes for as long as a sweep runs, so
+		// no WriteTimeout; per-sweep deadlines come from timeout_ms.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(stdout, "relatrustd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "relatrustd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err := hs.Shutdown(shutdownCtx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Sweeps still running after the drain window: Close() tears the
+		// connections down, which cancels their request contexts through
+		// the same plumbing a client disconnect uses.
+		_ = hs.Close()
+		fmt.Fprintln(stderr, "relatrustd: shutdown: drain window expired, cancelled in-flight sweeps")
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "relatrustd: shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "relatrustd: shut down")
+	return 0
+}
+
+// datasetFlags collects repeated -dataset name=path.csv flags.
+type datasetFlags []struct{ name, path string }
+
+func (d *datasetFlags) String() string {
+	parts := make([]string, len(*d))
+	for i, e := range *d {
+		parts[i] = e.name + "=" + e.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d *datasetFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path.csv, got %q", v)
+	}
+	*d = append(*d, struct{ name, path string }{name, path})
+	return nil
+}

@@ -1,0 +1,79 @@
+// Serving example: run the relatrustd HTTP service in-process, register a
+// dataset over the wire, and stream the repair frontier as NDJSON — the
+// same calls a curl client would make against a deployed daemon.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"relatrust/internal/server"
+)
+
+const csvData = `City,ZIP,State
+Springfield,62701,IL
+Springfield,62701,IL
+Springfield,97477,OR
+Shelbyville,46176,IN
+Shelbyville,46176,TN
+`
+
+func main() {
+	// Serve on an ephemeral loopback port, exactly like cmd/relatrustd.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(server.Options{})
+	go func() { _ = http.Serve(ln, srv) }()
+	base := "http://" + ln.Addr().String()
+
+	// Register the dataset: one warm repair session from here on.
+	body, _ := json.Marshal(map[string]string{"name": "cities", "csv": csvData})
+	resp, err := http.Post(base+"/v1/datasets", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Println("registered dataset: HTTP", resp.StatusCode)
+
+	// Stream the frontier; each NDJSON line arrives the moment its trust
+	// level finishes.
+	body, _ = json.Marshal(map[string]any{
+		"dataset": "cities",
+		"fds":     "City->ZIP; City->State",
+		"seed":    1,
+	})
+	resp, err = http.Post(base+"/v1/repair", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, `"error"`) {
+			log.Fatalf("stream error: %s", line)
+		}
+		var row struct {
+			Level       int    `json:"level"`
+			Tau         int    `json:"tau"`
+			Sigma       string `json:"sigma"`
+			CellChanges int    `json:"cell_changes"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("level %d: τ=%d  Σ'=%s  cell changes=%d\n",
+			row.Level, row.Tau, row.Sigma, row.CellChanges)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

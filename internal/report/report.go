@@ -12,6 +12,48 @@ import (
 	"relatrust/internal/repair"
 )
 
+// Row is the wire form of one frontier point, shared by every renderer of
+// the trust spectrum: the CLI's table writers and the HTTP server's
+// NDJSON/SSE streams all encode exactly these fields, so the two surfaces
+// cannot drift apart. Level is 1-based in frontier order ("trust the FDs"
+// first); Sigma is the modified FD set rendered against the instance's
+// schema.
+type Row struct {
+	Level       int     `json:"level"`
+	Tau         int     `json:"tau"`
+	Sigma       string  `json:"sigma"`
+	FDCost      float64 `json:"fd_cost"`
+	CellChanges int     `json:"cell_changes"`
+	DeltaP      int     `json:"delta_p"`
+}
+
+// RowOf encodes one repair as the wire row it is rendered from.
+func RowOf(in *relation.Instance, level int, r *repair.Repair) Row {
+	return Row{
+		Level:       level,
+		Tau:         r.Tau,
+		Sigma:       r.Sigma.Format(in.Schema),
+		FDCost:      r.FDCost,
+		CellChanges: r.Data.NumChanges(),
+		DeltaP:      r.DeltaP,
+	}
+}
+
+// cells returns the row rendered as table cells, in header order.
+func (r Row) cells() []string {
+	return []string{
+		fmt.Sprintf("%d", r.Level),
+		fmt.Sprintf("%d", r.Tau),
+		r.Sigma,
+		fmt.Sprintf("%.4g", r.FDCost),
+		fmt.Sprintf("%d", r.CellChanges),
+		fmt.Sprintf("%d", r.DeltaP),
+	}
+}
+
+// spectrumHeader is the shared column header of the spectrum renderers.
+var spectrumHeader = []string{"level", "tau", "FD modification", "dist_c", "cell changes", "bound δP"}
+
 // Options tunes rendering.
 type Options struct {
 	// MaxCells caps the changed-cell listing per repair (0 = 20).
@@ -30,16 +72,9 @@ func (o Options) withDefaults() Options {
 // Spectrum renders the full list of suggested repairs as a table: one row
 // per trust level with the FD modification, its cost, and the data cost.
 func Spectrum(w io.Writer, in *relation.Instance, repairs []*repair.Repair) error {
-	tw := newTable("level", "tau", "FD modification", "dist_c", "cell changes", "bound δP")
+	tw := newTable(spectrumHeader...)
 	for i, r := range repairs {
-		tw.row(
-			fmt.Sprintf("%d", i+1),
-			fmt.Sprintf("%d", r.Tau),
-			r.Sigma.Format(in.Schema),
-			fmt.Sprintf("%.4g", r.FDCost),
-			fmt.Sprintf("%d", r.Data.NumChanges()),
-			fmt.Sprintf("%d", r.DeltaP),
-		)
+		tw.row(RowOf(in, i+1, r).cells()...)
 	}
 	_, err := io.WriteString(w, tw.String())
 	return err
@@ -67,20 +102,22 @@ const spectrumRowFmt = "%-5s  %-6s  %-40s  %-7s  %-12s  %s\n"
 func (sw *SpectrumWriter) Row(in *relation.Instance, r *repair.Repair) error {
 	if !sw.wrote {
 		sw.wrote = true
-		if _, err := fmt.Fprintf(sw.w, spectrumRowFmt,
-			"level", "tau", "FD modification", "dist_c", "cell changes", "bound δP"); err != nil {
+		h := make([]any, len(spectrumHeader))
+		for i, c := range spectrumHeader {
+			h[i] = c
+		}
+		if _, err := fmt.Fprintf(sw.w, spectrumRowFmt, h...); err != nil {
 			return err
 		}
 	}
 	sw.n++
-	_, err := fmt.Fprintf(sw.w, spectrumRowFmt,
-		fmt.Sprintf("%d", sw.n),
-		fmt.Sprintf("%d", r.Tau),
-		r.Sigma.Format(in.Schema),
-		fmt.Sprintf("%.4g", r.FDCost),
-		fmt.Sprintf("%d", r.Data.NumChanges()),
-		fmt.Sprintf("%d", r.DeltaP),
-	)
+	row := RowOf(in, sw.n, r)
+	cells := row.cells()
+	args := make([]any, len(cells))
+	for i, c := range cells {
+		args[i] = c
+	}
+	_, err := fmt.Fprintf(sw.w, spectrumRowFmt, args...)
 	return err
 }
 

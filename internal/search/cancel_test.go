@@ -162,4 +162,3 @@ func TestMaxVisitedTypedError(t *testing.T) {
 		}
 	}
 }
-

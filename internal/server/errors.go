@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"relatrust"
+)
+
+// ErrorBody is the structured JSON error envelope of every non-2xx
+// response and every in-band stream error frame.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail names the failure. Code is stable and machine-matchable —
+// one code per facade sentinel — while Message is human-readable and may
+// change. The optional fields carry the typed wrappers' payloads.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// FD is the offending dependency (schema_mismatch only).
+	FD string `json:"fd,omitempty"`
+	// Tau is the infeasible budget (no_repair_in_budget only).
+	Tau *int `json:"tau,omitempty"`
+	// Visited is the search effort at the abort (max_visited only).
+	Visited int `json:"visited,omitempty"`
+}
+
+// Error codes. The facade sentinels each map to a distinct (code, HTTP
+// status) pair; request-shape failures get their own codes so clients can
+// tell a malformed request from an infeasible one.
+const (
+	codeBadRequest       = "bad_request"
+	codeBadCSV           = "bad_csv"
+	codeBadFDs           = "bad_fds"
+	codeUnknownDataset   = "unknown_dataset"
+	codeDatasetExists    = "dataset_exists"
+	codeEmptyFDSet       = "empty_fd_set"
+	codeEmptyInstance    = "empty_instance"
+	codeSchemaMismatch   = "schema_mismatch"
+	codeNoRepairInBudget = "no_repair_in_budget"
+	codeMaxVisited       = "max_visited"
+	codeDeadline         = "deadline_exceeded"
+	codeCancelled        = "cancelled"
+	codeInternal         = "internal"
+)
+
+// statusClientClosedRequest is nginx's conventional status for a request
+// the client abandoned; no one receives the body, but the access log and
+// the in-band stream frame stay truthful.
+const statusClientClosedRequest = 499
+
+// mapError translates an error out of the relatrust facade (or the
+// request's context) into its HTTP status and wire body. Every facade
+// sentinel maps to a distinct pair:
+//
+//	ErrEmptyFDSet       → 400 empty_fd_set
+//	ErrEmptyInstance    → 422 empty_instance
+//	ErrSchemaMismatch   → 422 schema_mismatch (carries the FD)
+//	ErrNoRepairInBudget → 409 no_repair_in_budget (carries τ)
+//	ErrMaxVisited       → 503 max_visited (carries the visited count)
+//	DeadlineExceeded    → 504 deadline_exceeded
+//	Canceled            → 499 cancelled
+//
+// The schema renders the mismatching FD with attribute names when the
+// dataset is known; pass nil otherwise. Unrecognized errors are 500
+// internal.
+func mapError(err error, schema *relatrust.Schema) (int, ErrorBody) {
+	detail := ErrorDetail{Message: err.Error()}
+	var status int
+	var sm *relatrust.SchemaMismatchError
+	var be *relatrust.BudgetError
+	var mv *relatrust.MaxVisitedError
+	switch {
+	case errors.As(err, &sm):
+		status, detail.Code = http.StatusUnprocessableEntity, codeSchemaMismatch
+		if schema != nil && sm.FD.RHS < schema.Width() && sm.FD.LHS.Max() < schema.Width() {
+			detail.FD = sm.FD.Format(schema)
+		} else {
+			detail.FD = sm.FD.String()
+		}
+	case errors.As(err, &be):
+		status, detail.Code = http.StatusConflict, codeNoRepairInBudget
+		tau := be.Tau
+		detail.Tau = &tau
+	case errors.As(err, &mv):
+		status, detail.Code = http.StatusServiceUnavailable, codeMaxVisited
+		detail.Visited = mv.Stats.Visited
+	case errors.Is(err, relatrust.ErrEmptyFDSet):
+		status, detail.Code = http.StatusBadRequest, codeEmptyFDSet
+	case errors.Is(err, relatrust.ErrEmptyInstance):
+		status, detail.Code = http.StatusUnprocessableEntity, codeEmptyInstance
+	case errors.Is(err, context.DeadlineExceeded):
+		status, detail.Code = http.StatusGatewayTimeout, codeDeadline
+	case errors.Is(err, context.Canceled):
+		status, detail.Code = statusClientClosedRequest, codeCancelled
+	default:
+		status, detail.Code = http.StatusInternalServerError, codeInternal
+	}
+	return status, ErrorBody{Error: detail}
+}
+
+// writeError sends a structured error response.
+func writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+// writeErrorCode is writeError for request-shape failures with no
+// underlying facade error.
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeError(w, status, ErrorBody{Error: ErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}

@@ -1,0 +1,156 @@
+package server
+
+// Golden-file tests for the wire formats: the NDJSON and SSE frontier
+// streams and the structured error bodies. A diff in testdata/ means a
+// serialization change a client would see — make it deliberately, with
+// -update.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("%s drifted from golden file (intentional changes: re-run with -update):\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// goldenServer registers the deterministic fixtures used by every golden
+// request.
+func goldenServer(t *testing.T) *httptestServerHandle {
+	t.Helper()
+	ts, _, _ := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+	resp := postJSON(t, ts.URL+"/v1/datasets", registerRequest{Name: "two", CSV: "City,ZIP\nA,1\nA,2\n"})
+	resp.Body.Close()
+	return &httptestServerHandle{URL: ts.URL}
+}
+
+// httptestServerHandle keeps the golden helpers free of the httptest
+// import juggling; only the base URL matters here.
+type httptestServerHandle struct{ URL string }
+
+// body performs the request and returns the raw response body.
+func goldenBody(t *testing.T, method, url string, reqBody any, accept string) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(reqBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, got
+}
+
+func TestGoldenFrontierNDJSON(t *testing.T) {
+	h := goldenServer(t)
+	status, got := goldenBody(t, http.MethodPost, h.URL+"/v1/repair",
+		RepairRequest{Dataset: "paper", FDs: paperFDs, Seed: 1}, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	checkGolden(t, "frontier.ndjson.golden", got)
+}
+
+func TestGoldenFrontierNDJSONWithChanges(t *testing.T) {
+	h := goldenServer(t)
+	status, got := goldenBody(t, http.MethodPost, h.URL+"/v1/repair",
+		RepairRequest{Dataset: "paper", FDs: paperFDs, Seed: 1, IncludeChanges: true}, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	checkGolden(t, "frontier.changes.ndjson.golden", got)
+}
+
+func TestGoldenFrontierSSE(t *testing.T) {
+	h := goldenServer(t)
+	status, got := goldenBody(t, http.MethodPost, h.URL+"/v1/repair",
+		RepairRequest{Dataset: "paper", FDs: paperFDs, Seed: 1}, "text/event-stream")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	checkGolden(t, "frontier.sse.golden", got)
+}
+
+func TestGoldenBudgetRepair(t *testing.T) {
+	h := goldenServer(t)
+	tau := 2
+	status, got := goldenBody(t, http.MethodPost, h.URL+"/v1/repair/budget",
+		RepairRequest{Dataset: "paper", FDs: paperFDs, Tau: &tau, Seed: 1, IncludeChanges: true}, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	checkGolden(t, "budget.json.golden", got)
+}
+
+// TestGoldenErrorBodies pins the structured error envelope for the error
+// shapes a client must dispatch on.
+func TestGoldenErrorBodies(t *testing.T) {
+	h := goldenServer(t)
+	zero, three := 0, 3
+	cases := []struct {
+		name   string
+		url    string
+		body   RepairRequest
+		status int
+	}{
+		{"error.unknown_dataset.json.golden", "/v1/repair/budget",
+			RepairRequest{Dataset: "nope", FDs: paperFDs, Tau: &zero}, http.StatusNotFound},
+		{"error.bad_fds.json.golden", "/v1/repair/budget",
+			RepairRequest{Dataset: "paper", FDs: "A->", Tau: &zero}, http.StatusBadRequest},
+		{"error.no_repair_in_budget.json.golden", "/v1/repair/budget",
+			RepairRequest{Dataset: "two", FDs: "City->ZIP", Tau: &zero}, http.StatusConflict},
+		// τ=3 sits between the feasibility floor and δP=4, so the search
+		// must actually expand states and the one-visit cap fires.
+		{"error.max_visited.json.golden", "/v1/repair/budget",
+			RepairRequest{Dataset: "paper", FDs: paperFDs, Tau: &three, MaxVisited: 1}, http.StatusServiceUnavailable},
+	}
+	for _, c := range cases {
+		status, got := goldenBody(t, http.MethodPost, h.URL+c.url, c.body, "")
+		if status != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, status, c.status, got)
+			continue
+		}
+		checkGolden(t, c.name, got)
+	}
+}

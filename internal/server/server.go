@@ -1,0 +1,350 @@
+// Package server implements relatrustd: an HTTP service that serves the
+// relative-trust repair spectrum over registered datasets.
+//
+// # Model
+//
+// Clients register CSV instances into a dataset registry (POST
+// /v1/datasets); each dataset keeps one shared relatrust.Session warm for
+// its whole lifetime, so every repair request over a hot dataset forks the
+// cached conflict analysis instead of re-scanning the data. Repair
+// requests name a dataset plus an FD set and run through the public
+// relatrust.Repairer facade:
+//
+//	POST /v1/repair         stream the Pareto frontier (NDJSON, or SSE via Accept)
+//	POST /v1/repair/budget  the single repair for one cell-change budget τ
+//	POST /v1/sample         k sampled minimal data-only repairs
+//	POST /v1/violations     violating tuple pairs for an FD set
+//	GET  /healthz           liveness
+//	GET  /statz             registry and sweep statistics
+//
+// # Streaming
+//
+// /v1/repair writes one frontier row the moment its trust level finishes:
+// the handler ranges over Repairer.Frontier and flushes each NDJSON line
+// (or SSE "repair" event) as it is yielded, so a slow sweep shows
+// progress and a client can stop reading once it has seen enough of the
+// spectrum. An NDJSON stream carries data rows only; an error mid-sweep is
+// delivered in-band as a final {"error": ...} line (SSE: an "error"
+// event; a successful SSE stream ends with a "done" event). Rows encode
+// report.Row — byte-identical to the rows an in-process caller would build
+// from the same Frontier sequence.
+//
+// # Cancellation
+//
+// Every sweep runs under the request's context: a client disconnect or an
+// explicit timeout_ms deadline cancels the FD-modification search through
+// the facade's context plumbing, which drains the parallel workers and
+// returns the forked analysis to the shared session before the handler
+// exits. The shared session is therefore unaffected by abandoned requests
+// — the next request over the dataset reuses it as if the cancel never
+// happened.
+//
+// # Concurrency
+//
+// Requests over distinct datasets are independent. Within one dataset a
+// counting semaphore (Options.MaxSweepsPerDataset) bounds the number of
+// concurrently running sweeps; excess requests wait in line under their
+// own contexts rather than fork-storming the session engine. Acquired
+// analyses are per-request forks, so concurrent sweeps under the bound are
+// safe; the registry itself is guarded by a read-write mutex.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"relatrust"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// MaxSweepsPerDataset bounds concurrently running sweeps (frontier,
+	// budget, sample) per dataset; further requests wait. 0 selects 2.
+	MaxSweepsPerDataset int
+	// MaxUploadBytes caps the request body of dataset registration.
+	// 0 selects 32 MiB.
+	MaxUploadBytes int64
+	// Workers is the default search parallelism for requests that do not
+	// set workers themselves. 0 selects the facade default (GOMAXPROCS).
+	Workers int
+	// Observe, when non-nil, receives every sweep's progress events
+	// (relatrust.Options.Progress) tagged with the dataset name. Callbacks
+	// run synchronously on the sweeping goroutine — keep them fast. Used
+	// for logging, metrics, and by the test harness to pause a sweep at a
+	// known point.
+	Observe func(dataset string, ev relatrust.ProgressEvent)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSweepsPerDataset <= 0 {
+		o.MaxSweepsPerDataset = 2
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 32 << 20
+	}
+	return o
+}
+
+// Server is the relatrustd HTTP handler: a dataset registry plus the
+// repair endpoints. Create one with New and mount it (it implements
+// http.Handler).
+type Server struct {
+	opt   Options
+	mux   *http.ServeMux
+	start time.Time
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+}
+
+// dataset is one registered instance with its warm shared session and
+// serving statistics.
+type dataset struct {
+	name string
+	in   *relatrust.Instance
+	sess *relatrust.Session
+	// sem bounds concurrent sweeps; acquire before any repair work.
+	sem chan struct{}
+
+	mu              sync.Mutex
+	sweepsStarted   int64
+	sweepsFinished  int64
+	sweepsCancelled int64
+	sweepsFailed    int64
+	rowsStreamed    int64
+	lastHitRate     float64
+}
+
+// New returns a Server with an empty registry.
+func New(opt Options) *Server {
+	s := &Server{
+		opt:      opt.withDefaults(),
+		start:    time.Now(),
+		datasets: make(map[string]*dataset),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("POST /v1/datasets", s.handleRegister)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("POST /v1/repair/budget", s.handleBudget)
+	mux.HandleFunc("POST /v1/sample", s.handleSample)
+	mux.HandleFunc("POST /v1/violations", s.handleViolations)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the registered routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// DatasetInfo is the wire description of a registered dataset.
+type DatasetInfo struct {
+	Name       string   `json:"name"`
+	Tuples     int      `json:"tuples"`
+	Attributes []string `json:"attributes"`
+}
+
+func (d *dataset) info() DatasetInfo {
+	return DatasetInfo{
+		Name:       d.name,
+		Tuples:     d.in.N(),
+		Attributes: d.in.Schema.Names(),
+	}
+}
+
+// Register adds an instance under the name programmatically (daemon
+// preloading and tests; HTTP clients use POST /v1/datasets). The instance
+// must not be mutated afterwards — the dataset's shared session aliases
+// it for its whole lifetime.
+func (s *Server) Register(name string, in *relatrust.Instance) (DatasetInfo, error) {
+	if err := validateDatasetName(name); err != nil {
+		return DatasetInfo{}, err
+	}
+	d := &dataset{
+		name: name,
+		in:   in,
+		sess: relatrust.NewSession(in),
+		sem:  make(chan struct{}, s.opt.MaxSweepsPerDataset),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[name]; ok {
+		return DatasetInfo{}, fmt.Errorf("server: dataset %q already registered", name)
+	}
+	s.datasets[name] = d
+	return d.info(), nil
+}
+
+func validateDatasetName(name string) error {
+	if name == "" || len(name) > 128 || strings.ContainsAny(name, "/\x00 \t\n") {
+		return fmt.Errorf("server: invalid dataset name %q (non-empty, ≤128 chars, no spaces or slashes)", name)
+	}
+	return nil
+}
+
+// lookup returns the dataset, or nil if unregistered.
+func (s *Server) lookup(name string) *dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.datasets[name]
+}
+
+// registerRequest is the body of POST /v1/datasets: the CSV text is parsed
+// header-first, exactly like relatrust.ReadCSV.
+type registerRequest struct {
+	Name string `json:"name"`
+	CSV  string `json:"csv"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxUploadBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req registerRequest
+	if err := dec.Decode(&req); err != nil {
+		writeErrorCode(w, http.StatusBadRequest, codeBadRequest, "decoding register request: %v", err)
+		return
+	}
+	if dec.More() {
+		writeErrorCode(w, http.StatusBadRequest, codeBadRequest, "unexpected data after the register object")
+		return
+	}
+	if err := validateDatasetName(req.Name); err != nil {
+		writeErrorCode(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	in, err := relatrust.ReadCSV(strings.NewReader(req.CSV))
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, codeBadCSV, "parsing CSV: %v", err)
+		return
+	}
+	info, err := s.Register(req.Name, in)
+	if err != nil {
+		writeErrorCode(w, http.StatusConflict, codeDatasetExists, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	infos := make([]DatasetInfo, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		infos = append(infos, d.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}{infos})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	d := s.lookup(r.PathValue("name"))
+	if d == nil {
+		writeErrorCode(w, http.StatusNotFound, codeUnknownDataset, "dataset %q is not registered", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, d.info())
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.datasets[name]
+	delete(s.datasets, name)
+	s.mu.Unlock()
+	if !ok {
+		writeErrorCode(w, http.StatusNotFound, codeUnknownDataset, "dataset %q is not registered", name)
+		return
+	}
+	// In-flight sweeps over the dataset keep their references and finish
+	// normally; the session is garbage once they do.
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+// DatasetStatz is the per-dataset block of GET /statz.
+type DatasetStatz struct {
+	DatasetInfo
+	// ActiveSweeps is the number of sweeps currently holding the
+	// dataset's semaphore.
+	ActiveSweeps  int   `json:"active_sweeps"`
+	SweepsStarted int64 `json:"sweeps_started"`
+	// SweepsFinished + SweepsCancelled (disconnects, deadlines) +
+	// SweepsFailed (MaxVisited, internal faults) accounts for every
+	// sweep that is no longer active.
+	SweepsFinished  int64 `json:"sweeps_finished"`
+	SweepsCancelled int64 `json:"sweeps_cancelled"`
+	SweepsFailed    int64 `json:"sweeps_failed"`
+	RowsStreamed    int64 `json:"rows_streamed"`
+	// PartitionCacheHitRate is the hit rate reported by the most recently
+	// finished sweep (0 until one finishes).
+	PartitionCacheHitRate float64 `json:"partition_cache_hit_rate"`
+	// SessionAcquires/SessionBuilds are the shared session's counters:
+	// analyses handed out vs built from scratch. A hot dataset shows
+	// acquires far above builds.
+	SessionAcquires int64 `json:"session_acquires"`
+	SessionBuilds   int64 `json:"session_builds"`
+}
+
+// Statz is the body of GET /statz.
+type Statz struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Sessions      int            `json:"sessions"`
+	Datasets      []DatasetStatz `json:"datasets"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	stats := make([]DatasetStatz, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		stats = append(stats, d.statz())
+	}
+	s.mu.RUnlock()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+	writeJSON(w, http.StatusOK, Statz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Sessions:      len(stats),
+		Datasets:      stats,
+	})
+}
+
+func (d *dataset) statz() DatasetStatz {
+	sess := d.sess.Stats()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DatasetStatz{
+		DatasetInfo:           d.info(),
+		ActiveSweeps:          len(d.sem),
+		SweepsStarted:         d.sweepsStarted,
+		SweepsFinished:        d.sweepsFinished,
+		SweepsCancelled:       d.sweepsCancelled,
+		SweepsFailed:          d.sweepsFailed,
+		RowsStreamed:          d.rowsStreamed,
+		PartitionCacheHitRate: d.lastHitRate,
+		SessionAcquires:       sess.Acquires,
+		SessionBuilds:         sess.Builds,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

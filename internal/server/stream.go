@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// stream frames the frontier rows of one /v1/repair response and flushes
+// every frame immediately, so each Pareto point reaches the client the
+// moment its trust level finishes. Two framings:
+//
+//   - NDJSON (default, application/x-ndjson): one JSON object per line —
+//     data rows only; an error mid-sweep is a final {"error": ...} line,
+//     and a clean EOF without one means the frontier completed.
+//   - SSE (Accept: text/event-stream): "repair" events carrying the same
+//     JSON rows, a terminal "done" event on success, an "error" event on
+//     failure.
+type stream struct {
+	w   http.ResponseWriter
+	rc  *http.ResponseController
+	sse bool
+}
+
+// wantSSE reports whether the request asked for an event stream.
+func wantSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// newStream writes the response headers and returns the framer. The
+// status is committed here: stream errors after this point travel in-band.
+func newStream(w http.ResponseWriter, r *http.Request) *stream {
+	st := &stream{w: w, rc: http.NewResponseController(w), sse: wantSSE(r)}
+	if st.sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	// Proxies that buffer streaming responses (nginx) honor this opt-out.
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	_ = st.rc.Flush()
+	return st
+}
+
+// row emits one frontier frame and flushes it.
+func (st *stream) row(v any) error {
+	if st.sse {
+		return st.event("repair", v)
+	}
+	return st.line(v)
+}
+
+// fail emits the in-band error frame.
+func (st *stream) fail(body ErrorBody) {
+	if st.sse {
+		_ = st.event("error", body)
+		return
+	}
+	_ = st.line(body)
+}
+
+// done closes an SSE stream with the terminal event (NDJSON ends at EOF).
+func (st *stream) done(rows int) {
+	if !st.sse {
+		return
+	}
+	_ = st.event("done", struct {
+		Rows int `json:"rows"`
+	}{rows})
+}
+
+// line writes one NDJSON frame. json.Encoder appends the newline.
+func (st *stream) line(v any) error {
+	if err := json.NewEncoder(st.w).Encode(v); err != nil {
+		return err
+	}
+	return st.rc.Flush()
+}
+
+// event writes one SSE frame. The payload is a single JSON line, so one
+// data: field suffices.
+func (st *stream) event(name string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := st.w.Write([]byte("event: " + name + "\ndata: " + string(payload) + "\n\n")); err != nil {
+		return err
+	}
+	return st.rc.Flush()
+}

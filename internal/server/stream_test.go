@@ -1,0 +1,499 @@
+package server
+
+// End-to-end tests of the streaming /v1/repair endpoint — the acceptance
+// criteria of the serving layer:
+//
+//   - rows stream incrementally: the first NDJSON row is read by the
+//     client while the sweep is provably still mid-flight (held at a
+//     progress gate);
+//   - the streamed rows are byte-identical, in content and order, to the
+//     frames an in-process caller builds from Repairer.Frontier;
+//   - a client disconnect mid-sweep cancels the sweep, frees all
+//     goroutines, and leaves the dataset's shared session serving
+//     correct follow-up requests;
+//   - SSE framing carries the same payloads;
+//   - the per-dataset semaphore bounds concurrent sweeps.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"relatrust"
+
+	"relatrust/internal/report"
+	"relatrust/internal/testkit"
+)
+
+// paperCSV is the running example of the paper's Figures 2-3: its
+// frontier has three trust levels, so a sweep gated at the second level
+// still has real search work left — which is what the cancellation tests
+// need between the gate and the end of the sweep.
+const paperCSV = `A,B,C,D
+1,1,1,1
+1,2,1,3
+2,2,1,1
+2,3,4,3
+`
+
+const paperFDs = "A->B; C->D"
+
+// registerPaper registers the streaming fixture dataset.
+func registerPaper(t *testing.T, base string) {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/datasets", registerRequest{Name: "paper", CSV: paperCSV})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+}
+
+// frontierFrames is the in-process oracle: the exact JSON lines the
+// server must stream for (paperCSV, paperFDs, seed).
+func frontierFrames(t *testing.T, seed int64) []string {
+	t.Helper()
+	in, err := relatrust.ReadCSV(strings.NewReader(paperCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := relatrust.ParseFDs(in.Schema, paperFDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := relatrust.NewRepairer(in, sigma, relatrust.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	level := 0
+	for r, err := range rp.Frontier(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		level++
+		raw, err := json.Marshal(frontierFrame{Row: report.RowOf(in, level, r)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(raw))
+	}
+	if len(lines) < 3 {
+		t.Fatalf("fixture frontier has %d points; the streaming tests need ≥ 3", len(lines))
+	}
+	return lines
+}
+
+// repairBody builds the request body for the fixture sweep.
+func repairBody(t *testing.T, seed int64) *bytes.Reader {
+	t.Helper()
+	raw, err := json.Marshal(RepairRequest{Dataset: "paper", FDs: paperFDs, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(raw)
+}
+
+// gateAtSecondTau installs an observer callback that blocks the sweeping
+// goroutine at the second finished trust level until release is closed.
+// At that gate the first row has already been written and flushed (the
+// facade yields each point before the search continues), while the sweep
+// itself is provably unfinished.
+func gateAtSecondTau(obs *observer) (reached <-chan struct{}, release chan<- struct{}) {
+	reachedC := make(chan struct{})
+	releaseC := make(chan struct{})
+	finished := 0
+	obs.set(func(_ string, ev relatrust.ProgressEvent) {
+		if ev.Kind != relatrust.ProgressTauFinished {
+			return
+		}
+		finished++
+		if finished == 2 {
+			close(reachedC)
+			<-releaseC
+		}
+	})
+	return reachedC, releaseC
+}
+
+// TestRepairStreamsIncrementally is the acceptance test: the first row is
+// observed by the HTTP client strictly before the sweep completes, and the
+// full stream is byte-identical in content and order to the in-process
+// frontier.
+func TestRepairStreamsIncrementally(t *testing.T) {
+	want := frontierFrames(t, 9)
+	ts, _, obs := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+
+	reached, release := gateAtSecondTau(obs)
+	defer obs.set(nil)
+
+	resp, err := http.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	// Read the first row while the sweep is held at the gate: the gate
+	// sits before the second row's yield and before stream completion, so
+	// a successful read here proves the row traveled mid-sweep.
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading first streamed row: %v", err)
+	}
+	select {
+	case <-reached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep never reached the second trust level")
+	}
+	// The sweep is still blocked at the gate; only now let it finish.
+	close(release)
+
+	got := []string{strings.TrimSuffix(first, "\n")}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			break
+		}
+		got = append(got, strings.TrimSuffix(line, "\n"))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d rows, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d:\n  streamed %s\n  want     %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRepairStreamCancelMidSweep: dropping the connection mid-sweep
+// cancels the search, returns every goroutine to baseline, and leaves the
+// shared session correct for a follow-up request.
+func TestRepairStreamCancelMidSweep(t *testing.T) {
+	want := frontierFrames(t, 9)
+	ts, srv, obs := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+	client := ts.Client()
+
+	// Warm the dataset (and the connection pool) so the baseline below
+	// reflects an idle-but-warm server.
+	resp, err := client.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if n := bytes.Count(all, []byte("\n")); n != len(want) {
+		t.Fatalf("warm-up streamed %d rows, want %d", n, len(want))
+	}
+	client.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	reached, release := gateAtSecondTau(obs)
+	defer obs.set(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/repair", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first streamed row: %v", err)
+	}
+	select {
+	case <-reached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep never reached the second trust level")
+	}
+	// Disconnect while the sweep is provably mid-flight. The brief pause
+	// lets the server's connection reader observe the close and cancel
+	// the request context before the sweep resumes; the remaining trust
+	// level then runs straight into the cancelled context.
+	cancel()
+	resp.Body.Close()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	// The server records the abandoned sweep as cancelled.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d := srv.lookup("paper").statz()
+		if d.SweepsCancelled == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled sweep never recorded: %+v", d)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	client.CloseIdleConnections()
+	testkit.WaitGoroutineBaseline(t, baseline)
+
+	// The shared session survived: a follow-up sweep over the same
+	// dataset streams the full, identical frontier.
+	obs.set(nil)
+	resp, err = client.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var got []string
+	for sc.Scan() {
+		got = append(got, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("post-cancel sweep streamed %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("post-cancel row %d:\n  streamed %s\n  want     %s", i, got[i], want[i])
+		}
+	}
+	// The cancelled fork went back to the shared engine: builds stayed at
+	// one while acquires kept growing.
+	d := srv.lookup("paper").statz()
+	if d.SessionBuilds < 1 || d.SessionAcquires <= d.SessionBuilds {
+		t.Errorf("session counters after cancel: %+v", d)
+	}
+}
+
+// TestRepairRangeValidation: malformed τ ranges are pre-stream 400s, not
+// in-band "internal" errors behind a committed 200.
+func TestRepairRangeValidation(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+
+	post := func(req RepairRequest) *http.Response {
+		t.Helper()
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/repair", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	two := 2
+	resp := post(RepairRequest{Dataset: "paper", FDs: paperFDs, TauLow: 5, TauHigh: &two})
+	wantErrorCode(t, resp, http.StatusBadRequest, codeBadRequest)
+	// tau_low above δP (= 4 on this fixture) with no tau_high.
+	resp = post(RepairRequest{Dataset: "paper", FDs: paperFDs, TauLow: 100})
+	wantErrorCode(t, resp, http.StatusBadRequest, codeBadRequest)
+	resp = post(RepairRequest{Dataset: "paper", FDs: paperFDs, TauLow: -1})
+	wantErrorCode(t, resp, http.StatusBadRequest, codeBadRequest)
+
+	// A valid sub-range still streams (τ ∈ [0, 2] covers the two relaxed
+	// levels of the paper fixture).
+	resp = post(RepairRequest{Dataset: "paper", FDs: paperFDs, TauHigh: &two})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid sub-range: status %d", resp.StatusCode)
+	}
+	rows := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"error"`) {
+			t.Fatalf("sub-range stream error: %s", sc.Text())
+		}
+		rows++
+	}
+	if rows == 0 {
+		t.Error("valid sub-range streamed no rows")
+	}
+}
+
+// TestRepairStreamSSE: the same sweep over Server-Sent Events framing —
+// repair events carry exactly the NDJSON payloads, and the stream ends
+// with a done event carrying the row count.
+func TestRepairStreamSSE(t *testing.T) {
+	want := frontierFrames(t, 9)
+	ts, _, _ := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/repair", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	var events []string
+	var datas []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		case strings.HasPrefix(line, "data: "):
+			datas = append(datas, strings.TrimPrefix(line, "data: "))
+		case line == "":
+		default:
+			t.Errorf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(want)+1 || len(datas) != len(events) {
+		t.Fatalf("%d events / %d data lines for %d rows", len(events), len(datas), len(want))
+	}
+	for i := range want {
+		if events[i] != "repair" {
+			t.Errorf("event %d = %q", i, events[i])
+		}
+		if datas[i] != want[i] {
+			t.Errorf("event %d payload:\n  streamed %s\n  want     %s", i, datas[i], want[i])
+		}
+	}
+	if last := events[len(events)-1]; last != "done" {
+		t.Errorf("terminal event = %q, want done", last)
+	}
+	var done struct {
+		Rows int `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(datas[len(datas)-1]), &done); err != nil || done.Rows != len(want) {
+		t.Errorf("done payload %q (err %v), want rows=%d", datas[len(datas)-1], err, len(want))
+	}
+}
+
+// TestRepairStreamDeadline: a server-side timeout_ms deadline aborts the
+// sweep with an in-band deadline_exceeded frame, and the sweep counts as
+// cancelled, not finished.
+func TestRepairStreamDeadline(t *testing.T) {
+	ts, srv, obs := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+
+	// Hold the sweep at its very first progress event until the 5 ms
+	// deadline has certainly expired: the next context check fails.
+	obs.set(func(_ string, ev relatrust.ProgressEvent) {
+		if ev.Kind == relatrust.ProgressSweepStarted {
+			time.Sleep(50 * time.Millisecond)
+		}
+	})
+	defer obs.set(nil)
+
+	raw, err := json.Marshal(RepairRequest{Dataset: "paper", FDs: paperFDs, TimeoutMS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/repair", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sawDeadline bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var frame struct {
+			Error *ErrorDetail `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+			t.Fatalf("non-JSON frame %q: %v", sc.Text(), err)
+		}
+		if frame.Error != nil {
+			if frame.Error.Code != codeDeadline {
+				t.Errorf("in-band error code = %q, want %q", frame.Error.Code, codeDeadline)
+			}
+			sawDeadline = true
+		}
+	}
+	if !sawDeadline {
+		t.Fatal("stream ended without the in-band deadline frame")
+	}
+	d := srv.lookup("paper").statz()
+	if d.SweepsCancelled != 1 || d.SweepsFinished != 0 {
+		t.Errorf("deadline sweep counted as %+v", d)
+	}
+}
+
+// TestSweepSemaphore: with MaxSweepsPerDataset=1, a second sweep waits in
+// line while the first holds the slot, and a bounded wait under its own
+// deadline reports deadline_exceeded without ever streaming.
+func TestSweepSemaphore(t *testing.T) {
+	ts, srv, obs := newTestServer(t, Options{MaxSweepsPerDataset: 1})
+	registerPaper(t, ts.URL)
+
+	reached, release := gateAtSecondTau(obs)
+	defer obs.set(nil)
+
+	// First sweep: acquire the only slot and park at the gate.
+	resp1, err := http.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp1.Body.Close()
+	select {
+	case <-reached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first sweep never reached the gate")
+	}
+
+	// Second sweep with a short deadline: it cannot get the slot, so it
+	// fails before streaming with a proper status (not in-band).
+	raw, err := json.Marshal(RepairRequest{Dataset: "paper", FDs: paperFDs, TimeoutMS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/repair", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrorCode(t, resp2, http.StatusGatewayTimeout, codeDeadline)
+
+	d := srv.lookup("paper").statz()
+	if d.ActiveSweeps != 1 {
+		t.Errorf("active sweeps = %d while the gate is held", d.ActiveSweeps)
+	}
+	if d.SweepsStarted != 1 {
+		t.Errorf("the waiting sweep started anyway: %+v", d)
+	}
+
+	close(release)
+	// The first sweep completes normally once released.
+	var rows int
+	sc := bufio.NewScanner(resp1.Body)
+	for sc.Scan() {
+		rows++
+	}
+	if rows < 2 {
+		t.Errorf("first sweep streamed %d rows", rows)
+	}
+}

@@ -173,6 +173,16 @@ func NewSession(in *Instance) *Session {
 	return &Session{eng: session.New(in)}
 }
 
+// SessionStats reports a session engine's effort: analyses handed out and
+// from-scratch cluster builds. Acquires−Builds is the number of
+// constructions the warm session avoided — serving layers surface it to
+// show a hot dataset paying for analysis once.
+type SessionStats = session.Stats
+
+// Stats returns a snapshot of the session's engine counters. It is safe to
+// call concurrently with repair calls using the session.
+func (s *Session) Stats() SessionStats { return s.eng.Stats() }
+
 // Options tunes the repair entry points.
 type Options struct {
 	// Weights prices LHS extensions. Nil selects DistinctCountWeights on
