@@ -2,17 +2,24 @@
 //
 // Usage:
 //
-//	relatrustd -addr :8080 [-dataset name=path.csv ...] [flags]
+//	relatrustd -addr :8080 [-data-dir dir] [-dataset name=path.csv ...] [flags]
 //
 // Datasets can be preloaded from CSV files at startup with repeated
-// -dataset flags, or registered at runtime via POST /v1/datasets. See
+// -dataset flags, or registered at runtime via POST /v1/datasets. With
+// -data-dir, registered datasets persist as columnar snapshots in that
+// directory and are rehydrated on the next boot, so a crash or restart
+// loses no uploads (corrupt snapshots are quarantined, never fatal); a
+// preload whose name a persisted dataset already holds is skipped. See
 // package relatrust/internal/server for the endpoint, streaming, and
-// cancellation model, and the README for curl examples.
+// cancellation model, and the README for curl examples and operations
+// notes.
 //
-// SIGINT/SIGTERM shut the server down gracefully: in-flight sweeps get a
-// -drain window to finish; if it expires the remaining connections are
-// closed — cancelling their sweeps through the same plumbing a client
-// disconnect uses — and the process exits non-zero.
+// SIGINT/SIGTERM shut the server down gracefully: the server first stops
+// admitting new sweeps (503 shutting_down), in-flight streams get the
+// -drain window to finish, then the listener closes. If the window
+// expires the remaining connections are closed — cancelling their sweeps
+// through the same plumbing a client disconnect uses — and the process
+// exits non-zero.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"relatrust"
 
 	"relatrust/internal/server"
+	"relatrust/internal/store"
 )
 
 func main() {
@@ -46,9 +54,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
-		maxSweeps = fs.Int("max-sweeps", 2, "maximum concurrent repair sweeps per dataset; further requests wait")
+		maxSweeps = fs.Int("max-sweeps", 2, "maximum concurrent repair sweeps per dataset; excess requests are shed with 429")
+		maxTotal  = fs.Int("max-total-sweeps", 0, "maximum concurrent repair sweeps across all datasets (0 = 8)")
 		workers   = fs.Int("workers", 0, "default search parallelism per sweep (0 = GOMAXPROCS; requests may override)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
+		dataDir   = fs.String("data-dir", "", "directory for durable dataset snapshots (empty = in-memory registry only)")
 		datasets  datasetFlags
 	)
 	fs.Var(&datasets, "dataset", "preload a dataset as name=path.csv (repeatable)")
@@ -59,10 +69,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	srv := server.New(server.Options{
+	opt := server.Options{
 		MaxSweepsPerDataset: *maxSweeps,
+		MaxConcurrentSweeps: *maxTotal,
 		Workers:             *workers,
-	})
+	}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir, store.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "relatrustd:", err)
+			return 1
+		}
+		opt.Store = st
+	}
+	srv := server.New(opt)
+	if opt.Store != nil {
+		n, err := srv.Rehydrate()
+		if err != nil {
+			fmt.Fprintln(stderr, "relatrustd:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "relatrustd: rehydrated %d dataset(s) from %s\n", n, *dataDir)
+	}
 	for _, d := range datasets {
 		in, err := relatrust.ReadCSVFile(d.path)
 		if err != nil {
@@ -70,6 +98,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		info, err := srv.Register(d.name, in)
+		if errors.Is(err, server.ErrDatasetExists) {
+			// The persisted copy wins: re-preloading over a rehydrated
+			// dataset would discard whatever the store holds.
+			fmt.Fprintf(stdout, "relatrustd: dataset %q already persisted; skipping preload\n", d.name)
+			continue
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "relatrustd:", err)
 			return 1
@@ -97,19 +131,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Stop admitting sweeps first, so the drain below only waits for work
+	// that was already running when the signal arrived.
+	srv.BeginShutdown()
 	err := hs.Shutdown(shutdownCtx)
 	if errors.Is(err, context.DeadlineExceeded) {
 		// Sweeps still running after the drain window: Close() tears the
 		// connections down, which cancels their request contexts through
-		// the same plumbing a client disconnect uses.
+		// the same plumbing a client disconnect uses. The sweeps then
+		// unwind promptly; give them the grace of a short bounded wait so
+		// the process does not exit under a mid-teardown race.
 		_ = hs.Close()
+		lateCtx, lateCancel := context.WithTimeout(context.Background(), time.Second)
+		_ = srv.Drain(lateCtx)
+		lateCancel()
+		srv.Close()
 		fmt.Fprintln(stderr, "relatrustd: shutdown: drain window expired, cancelled in-flight sweeps")
 		return 1
 	}
 	if err != nil {
+		srv.Close()
 		fmt.Fprintln(stderr, "relatrustd: shutdown:", err)
 		return 1
 	}
+	// The listener is closed and every request finished; drop the session
+	// engines with the registry.
+	srv.Close()
 	fmt.Fprintln(stdout, "relatrustd: shut down")
 	return 0
 }

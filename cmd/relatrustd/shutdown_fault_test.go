@@ -1,0 +1,80 @@
+//go:build faultinject
+
+package main
+
+// Shutdown-under-load e2e (go test -tags faultinject): a fault point holds
+// a sweep mid-stream while the daemon is told to shut down with a short
+// drain window, so the test observes the full degraded path — drain expiry,
+// forced connection teardown, and a non-zero exit.
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"relatrust/internal/faultinject"
+)
+
+// TestShutdownUnderLoad cancels the daemon while a stream is gated between
+// its first and second rows. The drain window (100ms) expires, the daemon
+// force-closes the connection, reports the expiry on stderr, and exits 1 —
+// it never hangs on the stuck sweep.
+func TestShutdownUnderLoad(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	gate := make(chan struct{})
+	defer close(gate)
+	hits := 0
+	faultinject.Set(faultinject.StreamEmit, func() error {
+		hits++
+		if hits == 2 {
+			<-gate
+		}
+		return nil
+	})
+
+	csv := "A,B,C,D\n1,1,1,1\n1,2,1,3\n2,2,1,1\n2,3,4,3\n"
+	var stdout, stderr safeBuilder
+	base, stop := bootDaemon(t, &stdout, &stderr, "-drain", "100ms")
+	body := `{"name":"paper","csv":` + quoteCSV(csv) + `}`
+	resp, err := http.Post(base+"/v1/datasets", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d, want 201", resp.StatusCode)
+	}
+
+	stream, err := http.Post(base+"/v1/repair", "application/json",
+		strings.NewReader(`{"dataset":"paper","fds":"A->B; C->D"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	if !sc.Scan() {
+		t.Fatal("no first row before the gate")
+	}
+
+	exitc := make(chan int, 1)
+	go func() { exitc <- stop() }()
+	select {
+	case code := <-exitc:
+		if code != 1 {
+			t.Errorf("exit code = %d, want 1 after drain expiry", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon hung on a stuck sweep during shutdown")
+	}
+	if msg := stderr.String(); !strings.Contains(msg, "drain window expired") {
+		t.Errorf("stderr %q, want drain-expiry report", msg)
+	}
+}
+
+// quoteCSV JSON-escapes the CSV payload (newlines only; the fixture has no
+// quotes or backslashes).
+func quoteCSV(csv string) string {
+	return `"` + strings.ReplaceAll(csv, "\n", `\n`) + `"`
+}

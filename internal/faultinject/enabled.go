@@ -1,0 +1,43 @@
+//go:build faultinject
+
+package faultinject
+
+import "sync"
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = true
+
+var (
+	mu    sync.Mutex
+	armed = map[string]func() error{}
+)
+
+// Set arms a fault point: every subsequent Hit(point) calls f, which may
+// return an error (propagated by the call site), panic (contained by the
+// recovery layer under test), or return nil to pass. f runs on the
+// goroutine that hits the point and may be hit concurrently; it must be
+// safe for that. Arming replaces any previous function.
+func Set(point string, f func() error) {
+	mu.Lock()
+	armed[point] = f
+	mu.Unlock()
+}
+
+// Reset disarms every fault point. Tests defer it.
+func Reset() {
+	mu.Lock()
+	armed = map[string]func() error{}
+	mu.Unlock()
+}
+
+// Hit fires the fault point: nil when unarmed, otherwise whatever the
+// armed function does.
+func Hit(point string) error {
+	mu.Lock()
+	f := armed[point]
+	mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f()
+}

@@ -3,6 +3,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
@@ -62,28 +63,38 @@ func PerturbData(in *relation.Instance, sigma fd.Set, rate float64, seed int64) 
 	return &DataPerturbation{Instance: out, Cells: cells}, nil
 }
 
+// partitionBy groups every tuple by its projection on X using the shared
+// columnar partitioner, returning the groups ordered by first tuple index.
+// That order equals the first-seen order of the projected keys in a 0..N
+// scan (each group's members stay in ascending tuple order because
+// refinement is stable), which the injectors' rng draws depend on — the
+// partitioner's own nested refinement order would differ and silently
+// reshuffle every seeded perturbation. The groups alias the partitioner's
+// scratch and are valid until its next use.
+func partitionBy(p *relation.Partitioner, X relation.AttrSet) [][]int32 {
+	p.BeginAll()
+	p.RefineSet(X)
+	pt := p.Partition()
+	groups := make([][]int32, pt.NumGroups())
+	for i := range groups {
+		groups[i] = pt.Group(i)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	return groups
+}
+
 // injectRHS finds a pair agreeing on X∪{A} and corrupts one side's A.
 func injectRHS(in *relation.Instance, sigma fd.Set, rng *rand.Rand, touched map[relation.CellRef]bool) *relation.CellRef {
 	fdOrder := rng.Perm(len(sigma))
+	part := relation.NewPartitioner(in)
 	for _, fi := range fdOrder {
 		f := sigma[fi]
-		groups := make(map[string][]int, in.N())
-		order := make([]string, 0, in.N())
-		xa := f.LHS.Add(f.RHS)
-		for t := 0; t < in.N(); t++ {
-			key := in.Project(t, xa)
-			if _, seen := groups[key]; !seen {
-				order = append(order, key)
-			}
-			groups[key] = append(groups[key], t)
-		}
 		var candidates []int
-		for _, key := range order { // deterministic: first-seen key order
-			g := groups[key]
+		for _, g := range partitionBy(part, f.LHS.Add(f.RHS)) {
 			if len(g) >= 2 {
 				for _, t := range g {
-					if !touched[relation.CellRef{Tuple: t, Attr: f.RHS}] {
-						candidates = append(candidates, t)
+					if !touched[relation.CellRef{Tuple: int(t), Attr: f.RHS}] {
+						candidates = append(candidates, int(t))
 					}
 				}
 			}
@@ -94,6 +105,7 @@ func injectRHS(in *relation.Instance, sigma fd.Set, rng *rand.Rand, touched map[
 		t := candidates[rng.Intn(len(candidates))]
 		old := in.Tuples[t][f.RHS].Str()
 		in.Tuples[t][f.RHS] = relation.Const(old + "#err" + itoa(rng.Intn(1<<30)))
+		in.InvalidateCodes()
 		return &relation.CellRef{Tuple: t, Attr: f.RHS}
 	}
 	return nil
@@ -103,40 +115,31 @@ func injectRHS(in *relation.Instance, sigma fd.Set, rng *rand.Rand, touched map[
 // copies tj[B] into ti[B], which makes the pair agree on X but not on A.
 func injectLHS(in *relation.Instance, sigma fd.Set, rng *rand.Rand, touched map[relation.CellRef]bool) *relation.CellRef {
 	fdOrder := rng.Perm(len(sigma))
+	part := relation.NewPartitioner(in)
 	for _, fi := range fdOrder {
 		f := sigma[fi]
 		if f.LHS.Len() == 0 {
 			continue
 		}
+		colA, _ := in.Codes(f.RHS)
 		attrs := f.LHS.Attrs()
 		rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
 		for _, b := range attrs {
-			rest := f.LHS.Remove(b)
-			groups := make(map[string][]int, in.N())
-			order := make([]string, 0, in.N())
-			for t := 0; t < in.N(); t++ {
-				key := in.Project(t, rest)
-				if _, seen := groups[key]; !seen {
-					order = append(order, key)
-				}
-				groups[key] = append(groups[key], t)
-			}
+			colB, _ := in.Codes(b)
 			type site struct{ ti, tj int }
 			var sites []site
-			for _, key := range order { // deterministic: first-seen key order
-				g := groups[key]
+			for _, g := range partitionBy(part, f.LHS.Remove(b)) {
 				if len(g) < 2 {
 					continue
 				}
 				// Any pair differing on both B and A works; scan a few.
 				for x := 0; x < len(g) && len(sites) < 64; x++ {
 					for y := x + 1; y < len(g) && len(sites) < 64; y++ {
-						ti, tj := g[x], g[y]
+						ti, tj := int(g[x]), int(g[y])
 						if touched[relation.CellRef{Tuple: ti, Attr: b}] {
 							continue
 						}
-						if !in.Tuples[ti][b].Equal(in.Tuples[tj][b]) &&
-							!in.Tuples[ti][f.RHS].Equal(in.Tuples[tj][f.RHS]) {
+						if colB[ti] != colB[tj] && colA[ti] != colA[tj] {
 							sites = append(sites, site{ti, tj})
 						}
 					}
@@ -147,6 +150,7 @@ func injectLHS(in *relation.Instance, sigma fd.Set, rng *rand.Rand, touched map[
 			}
 			s := sites[rng.Intn(len(sites))]
 			in.Tuples[s.ti][b] = in.Tuples[s.tj][b]
+			in.InvalidateCodes()
 			return &relation.CellRef{Tuple: s.ti, Attr: b}
 		}
 	}

@@ -1,0 +1,184 @@
+package relation
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// snapInstance builds a fixture with repeated values (so dictionaries are
+// smaller than columns) and, optionally, variable cells.
+func snapInstance(t *testing.T, withVars bool) *Instance {
+	t.Helper()
+	in := NewInstance(MustSchema("City", "ZIP", "State"))
+	rows := [][]string{
+		{"Springfield", "62701", "IL"},
+		{"Springfield", "62701", "IL"},
+		{"Springfield", "97477", "OR"},
+		{"Shelbyville", "46176", "IN"},
+	}
+	for _, r := range rows {
+		if err := in.AppendConsts(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if withVars {
+		var g VarGen
+		v1, v2 := g.Fresh(), g.Fresh()
+		in.Tuples[1][1] = v1
+		in.Tuples[2][1] = v1 // same variable twice: must stay identical
+		in.Tuples[3][2] = v2
+	}
+	return in
+}
+
+func encodeSnapshot(t *testing.T, in *Instance) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func assertSameInstance(t *testing.T, got, want *Instance) {
+	t.Helper()
+	if g, w := got.Schema.String(), want.Schema.String(); g != w {
+		t.Fatalf("schema %s, want %s", g, w)
+	}
+	if got.N() != want.N() {
+		t.Fatalf("%d tuples, want %d", got.N(), want.N())
+	}
+	for i := range want.Tuples {
+		if !got.Tuples[i].Equal(want.Tuples[i]) {
+			t.Errorf("tuple %d = %v, want %v", i, got.Tuples[i], want.Tuples[i])
+		}
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	for _, withVars := range []bool{false, true} {
+		in := snapInstance(t, withVars)
+		out, err := ReadSnapshot(bytes.NewReader(encodeSnapshot(t, in)))
+		if err != nil {
+			t.Fatalf("withVars=%v: %v", withVars, err)
+		}
+		assertSameInstance(t, out, in)
+		// The code columns must have been rehydrated, not rebuilt: the
+		// cache is populated before any Codes call.
+		if out.codes.cols == nil {
+			t.Fatal("decoded instance has no cached code columns")
+		}
+		for a := 0; a < in.Schema.Width(); a++ {
+			if out.codes.cols[a] == nil {
+				t.Fatalf("attribute %d: code column not rehydrated", a)
+			}
+			wantCodes, wantN := in.Codes(a)
+			gotCodes, gotN := out.Codes(a)
+			if gotN != wantN {
+				t.Errorf("attribute %d: %d distinct codes, want %d", a, gotN, wantN)
+			}
+			for i := range wantCodes {
+				if gotCodes[i] != wantCodes[i] {
+					t.Errorf("attribute %d code %d: %d, want %d", a, i, gotCodes[i], wantCodes[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundtripEmpty(t *testing.T) {
+	in := NewInstance(MustSchema("A", "B"))
+	out, err := ReadSnapshot(bytes.NewReader(encodeSnapshot(t, in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameInstance(t, out, in)
+}
+
+func TestSnapshotRoundtripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		width := 1 + rng.Intn(6)
+		names := make([]string, width)
+		for i := range names {
+			names[i] = "A" + string(rune('0'+i))
+		}
+		in := NewInstance(MustSchema(names...))
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			row := make([]string, width)
+			for a := range row {
+				row[a] = strings.Repeat("v", 1+rng.Intn(3)) + string(rune('a'+rng.Intn(4)))
+			}
+			if err := in.AppendConsts(row...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := ReadSnapshot(bytes.NewReader(encodeSnapshot(t, in)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertSameInstance(t, out, in)
+	}
+}
+
+// TestSnapshotCorruption: every damaged form of a valid snapshot decodes
+// to ErrSnapshotCorrupt — never a panic, never a silently wrong instance.
+func TestSnapshotCorruption(t *testing.T) {
+	valid := encodeSnapshot(t, snapInstance(t, false))
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       valid[:10],
+		"bad magic":   append([]byte("NOTSNAP0"), valid[8:]...),
+		"old version": append([]byte("RTSNAP00"), valid[8:]...),
+		"truncated":   valid[:len(valid)-3],
+		"trailing":    append(append([]byte{}, valid...), 0xff),
+	}
+	// Flip one payload byte: the checksum must catch it.
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)-1] ^= 0x5a
+	cases["bit flip"] = flipped
+
+	for name, data := range cases {
+		if _, err := ReadSnapshot(bytes.NewReader(data)); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("%s: err = %v, want ErrSnapshotCorrupt", name, err)
+		}
+	}
+}
+
+// FuzzReadSnapshot: arbitrary bytes must decode to an instance or an
+// error, never a panic or runaway allocation; valid snapshots round-trip.
+func FuzzReadSnapshot(f *testing.F) {
+	in := NewInstance(MustSchema("A", "B"))
+	_ = in.AppendConsts("x", "y")
+	_ = in.AppendConsts("x", "z")
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, in); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(snapMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to an equal instance.
+		var out bytes.Buffer
+		if err := WriteSnapshot(&out, got); err != nil {
+			t.Fatalf("re-encoding decoded snapshot: %v", err)
+		}
+		again, err := ReadSnapshot(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding: %v", err)
+		}
+		if again.N() != got.N() || again.Schema.String() != got.Schema.String() {
+			t.Fatalf("roundtrip drift: %d/%s vs %d/%s",
+				again.N(), again.Schema, got.N(), got.Schema)
+		}
+	})
+}

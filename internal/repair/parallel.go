@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
+	"relatrust/internal/search"
 	"relatrust/internal/session"
 )
 
@@ -50,19 +52,30 @@ func RunSamplingParallel(ctx context.Context, in *relation.Instance, sigma fd.Se
 	var wg sync.WaitGroup
 	next := make(chan int)
 
+	// runOne contains a panic from one τ sample in that sample's result
+	// slot, so a poisoned input fails the call with a *search.PanicError
+	// instead of crashing the process and taking sibling sweeps with it.
+	runOne := func(i int) (out slot) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = slot{err: &search.PanicError{Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		s, err := NewSession(in, sigma, cfg)
+		if err != nil {
+			return slot{err: err}
+		}
+		r, err := s.Run(ctx, taus[i])
+		s.Close()
+		return slot{rep: r, err: err}
+	}
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				s, err := NewSession(in, sigma, cfg)
-				if err != nil {
-					results[i] = slot{err: err}
-					continue
-				}
-				r, err := s.Run(ctx, taus[i])
-				s.Close()
-				results[i] = slot{rep: r, err: err}
+				results[i] = runOne(i)
 			}
 		}()
 	}

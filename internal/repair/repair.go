@@ -56,10 +56,12 @@ type Config struct {
 	// of rebuilding them. It must be bound to the same instance the
 	// session is opened on. Nil builds a private single-use engine.
 	Engine *session.Engine
-	// Progress, when non-nil, observes the milestones of range sweeps
-	// (StreamRange): τ levels starting and finishing, search effort, and
-	// the partition-cache hit rate. Callbacks run synchronously on the
-	// sweeping goroutine.
+	// Progress, when non-nil, observes sweep milestones: range sweeps
+	// (StreamRange) report τ levels starting and finishing, search effort,
+	// and the partition-cache hit rate; single-τ runs (Run) report start
+	// and finish only. Callbacks run synchronously on the sweeping
+	// goroutine — which means concurrently across goroutines when sessions
+	// sharing one Config sweep in parallel (RunSamplingParallel).
 	Progress func(ProgressEvent)
 }
 
@@ -138,15 +140,27 @@ func (s *Session) TauFromRelative(taur float64) int {
 // closest to Σ whose δP is within tau, then materializes the data repair.
 // It returns nil (the paper's (φ, φ)) when no FD relaxation fits the
 // budget. Cancelling ctx aborts the search with context.Cause(ctx).
+// Config.Progress observes the sweep's start and finish (single-τ runs
+// have no intermediate trust levels).
 func (s *Session) Run(ctx context.Context, tau int) (*Repair, error) {
+	s.progress(ProgressEvent{Kind: ProgressSweepStarted, Tau: tau})
 	res, err := s.Searcher.Find(ctx, tau)
 	if err != nil {
 		return nil, err
 	}
-	if res == nil {
-		return nil, nil
+	var r *Repair
+	if res != nil {
+		if r, err = s.materialize(res, tau); err != nil {
+			return nil, err
+		}
 	}
-	return s.materialize(res, tau)
+	final := s.Searcher.LastStats()
+	s.progress(ProgressEvent{
+		Kind: ProgressSweepFinished, Tau: tau,
+		Visited: final.Visited, Generated: final.Generated,
+		CacheHitRate: s.Searcher.CoverCacheStats().HitRate(),
+	})
+	return r, nil
 }
 
 // RunRange implements Algorithm 6 followed by data-repair materialization:

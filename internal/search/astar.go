@@ -497,6 +497,11 @@ func (s *Searcher) runPar(ctx context.Context, tauLow, tauHigh int, emit func(*R
 			stats.Duration = time.Since(start)
 			return nil, context.Cause(ctx)
 		}
+		if err := pool.err(); err != nil {
+			prefetch.discard()
+			stats.Duration = time.Since(start)
+			return nil, err
+		}
 		if stats.Visited >= s.Opt.MaxVisited {
 			prefetch.discard()
 			stats.Duration = time.Since(start)
@@ -521,6 +526,15 @@ func (s *Searcher) runPar(ctx context.Context, tauLow, tauHigh int, emit func(*R
 		childBuf = n.state.Children(width, sigma, childBuf[:0])
 		batch := pool.startScore(childBuf, tau, scoreBuf)
 		coverSize := cover.wait()
+		// A panicked cover query completes with a poisoned size; check the
+		// pool before treating it as a goal (or pushing children scored by a
+		// panicked worker).
+		if err := pool.err(); err != nil {
+			batch.discard()
+			prefetch.discard()
+			stats.Duration = time.Since(start)
+			return nil, err
+		}
 		if coverSize*s.alpha <= tau {
 			stats.Duration = time.Since(start)
 			r := &Result{
@@ -581,6 +595,9 @@ func (s *Searcher) runPar(ctx context.Context, tauLow, tauHigh int, emit func(*R
 	// stats stamp.
 	if ctx.Err() != nil {
 		return nil, context.Cause(ctx)
+	}
+	if err := pool.err(); err != nil {
+		return nil, err
 	}
 	for _, r := range sink.results[sink.emitted:] {
 		r.Stats = stats

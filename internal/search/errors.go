@@ -25,3 +25,26 @@ func (e *MaxVisitedError) Error() string {
 
 // Is reports sentinel identity so errors.Is(err, ErrMaxVisited) holds.
 func (e *MaxVisitedError) Is(target error) bool { return target == ErrMaxVisited }
+
+// ErrPanic is the sentinel matched by errors.Is when a panic was recovered
+// during a sweep — in a parallel evaluation worker, or by a serving-layer
+// recovery handler. The error actually returned is a *PanicError carrying
+// the panic value and the captured stack.
+var ErrPanic = errors.New("search: panic recovered during sweep")
+
+// PanicError converts a recovered panic into a structured, propagatable
+// error: the sweep that panicked fails like any other failed sweep instead
+// of taking the process down. It matches ErrPanic under errors.Is.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic during sweep: %v", e.Value)
+}
+
+// Is reports sentinel identity so errors.Is(err, ErrPanic) holds.
+func (e *PanicError) Is(target error) bool { return target == ErrPanic }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"runtime/debug"
 	"sync"
 
 	"relatrust/internal/conflict"
@@ -74,6 +75,9 @@ type evalPool struct {
 	workers  []*worker
 	tasks    chan func(*worker)
 	wg       sync.WaitGroup
+
+	panicMu  sync.Mutex
+	panicErr error // first worker panic, as a *PanicError
 }
 
 // newEvalPool forks the searcher's analysis once per worker and starts the
@@ -108,11 +112,38 @@ func newEvalPool(s *Searcher, n int) *evalPool {
 		go func(w *worker) {
 			defer p.wg.Done()
 			for task := range p.tasks {
-				task(w)
+				p.run(w, task)
 			}
 		}(p.workers[i])
 	}
 	return p
+}
+
+// run executes one task under a recover so a panicking evaluation fails the
+// sweep instead of crashing the process. The first panic is recorded (with
+// its stack) for the coordinator, which checks err at every commit point;
+// later panics are dropped. The worker keeps draining tasks afterwards —
+// submitters still block on their completion signals, and every task
+// completes its slot via defer, so wait() never deadlocks on a panicked
+// task.
+func (p *evalPool) run(w *worker, task func(*worker)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicErr == nil {
+				p.panicErr = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	task(w)
+}
+
+// err returns the first recorded worker panic, or nil.
+func (p *evalPool) err() error {
+	p.panicMu.Lock()
+	defer p.panicMu.Unlock()
+	return p.panicErr
 }
 
 // close shuts the pool down after all submitted tasks have run, folds the
@@ -121,7 +152,14 @@ func newEvalPool(s *Searcher, n int) *evalPool {
 func (p *evalPool) close() {
 	close(p.tasks)
 	p.wg.Wait()
+	// After a panic the forks' private scratch may be mid-update; dropping
+	// them instead of releasing keeps the shared analysis pool clean, so
+	// the session stays usable for the next sweep.
+	poisoned := p.err() != nil
 	for _, w := range p.workers {
+		if poisoned {
+			continue
+		}
 		p.searcher.coverStats = p.searcher.coverStats.Add(w.an.CoverStats())
 		w.an.Release()
 	}
@@ -138,7 +176,14 @@ type coverTask struct {
 // the coordinator can match them against the actual next pop.
 func (p *evalPool) startCover(st State, forNode *node) *coverTask {
 	t := &coverTask{forNode: forNode, ch: make(chan int, 1)}
-	p.tasks <- func(w *worker) { t.ch <- w.an.CoverSize(st) }
+	p.tasks <- func(w *worker) {
+		// The deferred send keeps wait() from deadlocking when CoverSize
+		// panics; the coordinator sees the pool error before trusting the
+		// zero result.
+		size := -1
+		defer func() { t.ch <- size }()
+		size = w.an.CoverSize(st)
+	}
 	return t
 }
 

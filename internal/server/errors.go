@@ -46,6 +46,10 @@ const (
 	codeMaxVisited       = "max_visited"
 	codeDeadline         = "deadline_exceeded"
 	codeCancelled        = "cancelled"
+	codeOverloaded       = "overloaded"
+	codeShuttingDown     = "shutting_down"
+	codeStorage          = "storage"
+	codeInternalPanic    = "internal_panic"
 	codeInternal         = "internal"
 )
 
@@ -65,6 +69,7 @@ const statusClientClosedRequest = 499
 //	ErrMaxVisited       → 503 max_visited (carries the visited count)
 //	DeadlineExceeded    → 504 deadline_exceeded
 //	Canceled            → 499 cancelled
+//	ErrPanic            → 500 internal_panic (stack in the log only)
 //
 // The schema renders the mismatching FD with attribute names when the
 // dataset is known; pass nil otherwise. Unrecognized errors are 500
@@ -98,6 +103,10 @@ func mapError(err error, schema *relatrust.Schema) (int, ErrorBody) {
 		status, detail.Code = http.StatusGatewayTimeout, codeDeadline
 	case errors.Is(err, context.Canceled):
 		status, detail.Code = statusClientClosedRequest, codeCancelled
+	case errors.Is(err, relatrust.ErrPanic):
+		// A recovered panic: the sweep failed, the process and session did
+		// not. The stack went to the log, not the wire.
+		status, detail.Code = http.StatusInternalServerError, codeInternalPanic
 	default:
 		status, detail.Code = http.StatusInternalServerError, codeInternal
 	}

@@ -1,0 +1,162 @@
+//go:build faultinject
+
+package server
+
+// Fault-injection tests (go test -tags faultinject): inject I/O errors
+// and panics at the registered fault points and assert the serving tier
+// degrades per contract — structured errors, no crashes, no leaked slots,
+// and full recovery once the fault clears.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+
+	"relatrust/internal/faultinject"
+	"relatrust/internal/store"
+)
+
+// TestFaultStoreWriteFails: a snapshot write failure rolls the
+// registration back entirely — the client gets a 500 storage error, the
+// registry holds nothing, and the same registration succeeds once the
+// fault clears.
+func TestFaultStoreWriteFails(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	ts, srv, _ := newDurableServer(t, t.TempDir())
+
+	faultinject.Set(faultinject.StoreWrite, func() error {
+		return errors.New("injected: disk on fire")
+	})
+	resp := postJSON(t, ts.URL+"/v1/datasets", registerRequest{Name: "paper", CSV: paperCSV})
+	wantErrorCode(t, resp, http.StatusInternalServerError, codeStorage)
+	if srv.lookup("paper") != nil {
+		t.Fatal("failed registration left the dataset in the registry")
+	}
+
+	faultinject.Reset()
+	registerPaper(t, ts.URL)
+	assertFullFrontier(t, ts.Client(), ts.URL, frontierFrames(t, 9), "post-fault")
+}
+
+// TestFaultStoreLoadSkips: an I/O error while loading snapshots at boot
+// skips the affected dataset without failing the boot; the next
+// rehydration picks it up.
+func TestFaultStoreLoadSkips(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	ts1, _, _ := newDurableServer(t, dir)
+	registerPaper(t, ts1.URL)
+
+	faultinject.Set(faultinject.StoreLoad, func() error {
+		return errors.New("injected: transient read failure")
+	})
+	st, err := store.Open(dir, store.Options{Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Options{Store: st, Logger: quietLogger()})
+	n, err := srv2.Rehydrate()
+	if err != nil {
+		t.Fatalf("rehydrate with load faults must not fail the boot: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("rehydrated %d datasets through a failing loader", n)
+	}
+
+	// The snapshot was skipped, not quarantined: once the fault clears it
+	// rehydrates cleanly.
+	faultinject.Reset()
+	if n, err := srv2.Rehydrate(); err != nil || n != 1 {
+		t.Fatalf("post-fault rehydrate = (%d, %v), want (1, nil)", n, err)
+	}
+	if srv2.lookup("paper") == nil {
+		t.Fatal("dataset missing after post-fault rehydration")
+	}
+}
+
+// TestFaultSweepStartPanic: a panic at the sweep-start fault point unwinds
+// on the handler goroutine before any response bytes — the recovery
+// middleware turns it into a structured 500 and the process keeps serving.
+func TestFaultSweepStartPanic(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	ts, srv, _ := newTestServer(t, Options{Logger: quietLogger()})
+	registerPaper(t, ts.URL)
+
+	faultinject.Set(faultinject.SweepStart, func() error {
+		panic("injected: sweep-start explosion")
+	})
+	resp, err := http.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrorCode(t, resp, http.StatusInternalServerError, codeInternalPanic)
+	if got := srv.panics.Load(); got != 1 {
+		t.Errorf("panics recovered = %d, want 1", got)
+	}
+	d := srv.lookup("paper").statz()
+	if d.ActiveSweeps != 0 {
+		t.Errorf("active sweeps = %d after pre-admission panic", d.ActiveSweeps)
+	}
+
+	faultinject.Reset()
+	assertFullFrontier(t, ts.Client(), ts.URL, frontierFrames(t, 9), "post-fault")
+}
+
+// TestFaultStreamEmitError: an error injected between two row emissions
+// arrives as the stream's in-band error frame behind the committed 200,
+// after at least one good row; the sweep counts as failed and the next
+// sweep is whole.
+func TestFaultStreamEmitError(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	ts, srv, _ := newTestServer(t, Options{Logger: quietLogger()})
+	registerPaper(t, ts.URL)
+	want := frontierFrames(t, 9)
+
+	hits := 0
+	faultinject.Set(faultinject.StreamEmit, func() error {
+		hits++
+		if hits == 2 {
+			return errors.New("injected: emit failure")
+		}
+		return nil
+	})
+	resp, err := http.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var dataRows int
+	var errFrame *ErrorDetail
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var frame struct {
+			Error *ErrorDetail `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+			t.Fatalf("non-JSON frame %q: %v", sc.Text(), err)
+		}
+		if frame.Error != nil {
+			errFrame = frame.Error
+			continue
+		}
+		dataRows++
+	}
+	resp.Body.Close()
+	if dataRows != 1 {
+		t.Errorf("data rows before the fault = %d, want 1", dataRows)
+	}
+	if errFrame == nil || errFrame.Code != codeInternal {
+		t.Errorf("in-band frame = %+v, want code %q", errFrame, codeInternal)
+	}
+	d := srv.lookup("paper").statz()
+	if d.SweepsFailed != 1 {
+		t.Errorf("sweeps_failed = %d, want 1", d.SweepsFailed)
+	}
+
+	faultinject.Reset()
+	assertFullFrontier(t, ts.Client(), ts.URL, want, "post-fault")
+}

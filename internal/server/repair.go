@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"relatrust"
 
+	"relatrust/internal/faultinject"
 	"relatrust/internal/report"
 	"relatrust/internal/weights"
 )
@@ -187,19 +189,6 @@ func sweepCtx(r *http.Request, req RepairRequest) (context.Context, context.Canc
 	return context.WithCancel(r.Context())
 }
 
-// acquire takes one sweep slot of the dataset, waiting in line under the
-// request's context.
-func (d *dataset) acquire(ctx context.Context) error {
-	select {
-	case d.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return context.Cause(ctx)
-	}
-}
-
-func (d *dataset) release() { <-d.sem }
-
 // sweepDone records one sweep's outcome: finished, cancelled (a client
 // disconnect or deadline), or failed (any other error — MaxVisited, an
 // internal fault). The classification lives here so the three sweeping
@@ -218,25 +207,38 @@ func (d *dataset) sweepDone(rows int, err error) {
 	}
 }
 
-// startSweep is the shared prologue of the sweeping handlers: it applies
-// the request deadline, takes the dataset's sweep slot (writing the
-// mapped error itself when the wait is cut short), and counts the start.
-// On ok the caller must invoke done exactly once with the sweep's row
-// count and terminal error.
+// startSweep is the shared prologue of the sweeping handlers: it admits
+// the sweep (or sheds it — a saturated dataset semaphore or global cap is
+// a 429 with a Retry-After, a draining server a 503; neither queues),
+// applies the request deadline, and counts the start. On ok the caller
+// must invoke done exactly once with the sweep's row count and terminal
+// error.
 func (s *Server) startSweep(w http.ResponseWriter, r *http.Request, c repairCall) (context.Context, func(rows int, err error), bool) {
-	ctx, cancel := sweepCtx(r, c.req)
-	if err := c.ds.acquire(ctx); err != nil {
-		cancel()
-		status, body := mapError(err, c.ds.in.Schema)
-		writeError(w, status, body)
+	if err := faultinject.Hit(faultinject.SweepStart); err != nil {
+		writeErrorCode(w, http.StatusInternalServerError, codeInternal, "starting sweep: %v", err)
 		return nil, nil, false
 	}
+	if err := s.beginSweepSlot(c.ds); err != nil {
+		if errors.Is(err, ErrShuttingDown) {
+			writeErrorCode(w, http.StatusServiceUnavailable, codeShuttingDown,
+				"server is shutting down")
+			return nil, nil, false
+		}
+		c.ds.mu.Lock()
+		c.ds.sweepsShed++
+		c.ds.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeErrorCode(w, http.StatusTooManyRequests, codeOverloaded,
+			"sweep capacity for dataset %q is saturated; retry shortly", c.ds.name)
+		return nil, nil, false
+	}
+	ctx, cancel := sweepCtx(r, c.req)
 	c.ds.mu.Lock()
 	c.ds.sweepsStarted++
 	c.ds.mu.Unlock()
 	done := func(rows int, err error) {
 		c.ds.sweepDone(rows, err)
-		c.ds.release()
+		s.endSweepSlot(c.ds)
 		cancel()
 	}
 	return ctx, done, true
@@ -281,10 +283,29 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := newStream(w, r)
-	rows := 0
-	var sweepErr error
+	rows, sweepErr := s.streamFrontier(ctx, c, st, lo, hi)
+	if sweepErr != nil {
+		_, body := mapError(sweepErr, c.ds.in.Schema)
+		st.fail(body)
+	} else {
+		st.done(rows)
+	}
+	done(rows, sweepErr)
+}
+
+// streamFrontier runs the sweep and emits each frontier row as it lands.
+// The 200 is already committed when it runs, so it recovers its own
+// panics — a panic mid-sweep becomes the terminal error of the stream
+// (delivered in-band by the caller), with the stack logged; the sweep's
+// forked state never re-enters the shared session, which stays usable.
+func (s *Server) streamFrontier(ctx context.Context, c repairCall, st *stream, lo, hi int) (rows int, sweepErr error) {
+	defer s.recoverSweep(c.ds.name, &sweepErr)
 	for rep, err := range c.rp.FrontierRange(ctx, lo, hi) {
 		if err != nil {
+			sweepErr = err
+			break
+		}
+		if err := faultinject.Hit(faultinject.StreamEmit); err != nil {
 			sweepErr = err
 			break
 		}
@@ -300,13 +321,35 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	if sweepErr != nil {
-		_, body := mapError(sweepErr, c.ds.in.Schema)
-		st.fail(body)
-	} else {
-		st.done(rows)
+	return rows, sweepErr
+}
+
+// recoverSweep is the deferred second line of panic defense (the first is
+// the search pool's own recovery, which already yields a PanicError): any
+// panic that unwinds out of sweep code on the handler goroutine becomes
+// the sweep's terminal error instead of escaping past the slot release.
+// The stack goes to the log; the error maps to internal_panic on the wire.
+func (s *Server) recoverSweep(dataset string, sweepErr *error) {
+	if rec := recover(); rec != nil {
+		stack := debug.Stack()
+		s.panics.Add(1)
+		s.log.Error("server: panic during sweep",
+			"dataset", dataset, "panic", rec, "stack", string(stack))
+		*sweepErr = &relatrust.PanicError{Value: rec, Stack: stack}
 	}
-	done(rows, sweepErr)
+}
+
+// runBudget and runSample wrap the facade calls of the non-streaming
+// sweep handlers in recoverSweep, so a panic is released and reported
+// exactly like any other sweep failure.
+func (s *Server) runBudget(ctx context.Context, c repairCall) (rep *relatrust.Repair, err error) {
+	defer s.recoverSweep(c.ds.name, &err)
+	return c.rp.RepairWithBudget(ctx, *c.req.Tau)
+}
+
+func (s *Server) runSample(ctx context.Context, c repairCall) (samples []*relatrust.DataRepair, err error) {
+	defer s.recoverSweep(c.ds.name, &err)
+	return c.rp.Sample(ctx, c.req.K)
 }
 
 // handleBudget answers the single-τ repair (the paper's Algorithm 1).
@@ -323,7 +366,7 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	rep, err := c.rp.RepairWithBudget(ctx, *c.req.Tau)
+	rep, err := s.runBudget(ctx, c)
 	if err != nil {
 		done(0, err)
 		status, body := mapError(err, c.ds.in.Schema)
@@ -364,7 +407,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	samples, err := c.rp.Sample(ctx, c.req.K)
+	samples, err := s.runSample(ctx, c)
 	if err != nil {
 		done(0, err)
 		status, body := mapError(err, c.ds.in.Schema)

@@ -16,6 +16,12 @@
 //	POST /v1/violations     violating tuple pairs for an FD set
 //	GET  /healthz           liveness
 //	GET  /statz             registry and sweep statistics
+//	GET  /metrics           the same counters in Prometheus text format
+//
+// With Options.Store set the registry is durable: registration writes a
+// columnar snapshot through to disk, deletion removes it, and Rehydrate
+// reloads every persisted dataset on boot (corrupt snapshots are
+// quarantined by the store, never fatal).
 //
 // # Streaming
 //
@@ -39,26 +45,51 @@
 // — the next request over the dataset reuses it as if the cancel never
 // happened.
 //
-// # Concurrency
+// # Concurrency and load shedding
 //
 // Requests over distinct datasets are independent. Within one dataset a
 // counting semaphore (Options.MaxSweepsPerDataset) bounds the number of
-// concurrently running sweeps; excess requests wait in line under their
-// own contexts rather than fork-storming the session engine. Acquired
-// analyses are per-request forks, so concurrent sweeps under the bound are
-// safe; the registry itself is guarded by a read-write mutex.
+// concurrently running sweeps, and Options.MaxConcurrentSweeps bounds
+// them globally; a request that finds either saturated is shed
+// immediately — 429 with a Retry-After header — rather than queued, so
+// overload degrades into fast, honest rejections instead of a convoy.
+// Acquired analyses are per-request forks, so concurrent sweeps under the
+// bound are safe; the registry itself is guarded by a read-write mutex.
+//
+// # Panic isolation
+//
+// A panic anywhere in a request — handler, sweep, or a parallel search
+// worker (contained in the search layer and surfaced as a
+// relatrust.PanicError) — fails that request only: before the response
+// header is committed it becomes a structured 500 internal_panic; after,
+// an in-band error frame. The stack goes to the log, the poisoned forked
+// state is dropped rather than recycled, and the dataset's shared session
+// keeps serving.
+//
+// # Shutdown
+//
+// BeginShutdown stops admitting sweeps (503 shutting_down), Drain waits
+// for the in-flight ones under a deadline, Close drops the registry;
+// Shutdown composes the three for the daemon's signal handler.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"relatrust"
+
+	"relatrust/internal/store"
 )
 
 // Options tunes a Server.
@@ -78,6 +109,17 @@ type Options struct {
 	// for logging, metrics, and by the test harness to pause a sweep at a
 	// known point.
 	Observe func(dataset string, ev relatrust.ProgressEvent)
+	// MaxConcurrentSweeps caps sweeps running across ALL datasets; a
+	// request that finds the cap (or its dataset's semaphore) saturated is
+	// shed with 429 + Retry-After instead of queueing. 0 selects 8.
+	MaxConcurrentSweeps int
+	// Store, when non-nil, makes the registry durable: Rehydrate loads
+	// every persisted dataset on boot, registration writes through, and
+	// deletion removes the snapshot.
+	Store *store.Store
+	// Logger receives panic stacks and storage trouble. nil selects
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +128,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxUploadBytes <= 0 {
 		o.MaxUploadBytes = 32 << 20
+	}
+	if o.MaxConcurrentSweeps <= 0 {
+		o.MaxConcurrentSweeps = 8
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 	return o
 }
@@ -97,10 +145,32 @@ type Server struct {
 	opt   Options
 	mux   *http.ServeMux
 	start time.Time
+	now   func() time.Time // clock hook; tests freeze it for golden output
+	log   *slog.Logger
+
+	// inflight is the global sweep cap (load shedding, with the
+	// per-dataset semaphores); panics counts recovered handler and stream
+	// panics.
+	inflight chan struct{}
+	panics   atomic.Int64
+
+	// sweeps tracks running sweeps for Drain; draining flips under
+	// sweepMu so no sweep starts after a drain began waiting.
+	sweepMu  sync.Mutex
+	draining bool
+	sweeps   sync.WaitGroup
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
 }
+
+// ErrDatasetExists reports a name collision from Register, matched with
+// errors.Is (the daemon uses it to skip preloads already rehydrated from
+// the store).
+var ErrDatasetExists = errors.New("server: dataset already registered")
+
+// ErrShuttingDown reports a sweep refused because shutdown began.
+var ErrShuttingDown = errors.New("server: shutting down")
 
 // dataset is one registered instance with its warm shared session and
 // serving statistics.
@@ -116,20 +186,27 @@ type dataset struct {
 	sweepsFinished  int64
 	sweepsCancelled int64
 	sweepsFailed    int64
+	sweepsShed      int64
 	rowsStreamed    int64
 	lastHitRate     float64
 }
 
-// New returns a Server with an empty registry.
+// New returns a Server with an empty registry. With Options.Store set,
+// call Rehydrate next to load the persisted datasets.
 func New(opt Options) *Server {
+	opt = opt.withDefaults()
 	s := &Server{
-		opt:      opt.withDefaults(),
+		opt:      opt,
 		start:    time.Now(),
+		now:      time.Now,
+		log:      opt.Logger,
+		inflight: make(chan struct{}, opt.MaxConcurrentSweeps),
 		datasets: make(map[string]*dataset),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/datasets", s.handleRegister)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
@@ -142,10 +219,53 @@ func New(opt Options) *Server {
 	return s
 }
 
-// ServeHTTP dispatches to the registered routes.
+// ServeHTTP dispatches to the registered routes under the panic-recovery
+// middleware: a handler panic that escapes (the streaming path recovers
+// its own first — see streamFrontier) is logged with its stack and, when
+// the response header is not yet committed, answered with a structured
+// 500. The process and every other connection stay up either way.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	rw := &recordingWriter{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler { // deliberate abort, not a fault
+			panic(rec)
+		}
+		s.panics.Add(1)
+		s.log.Error("server: panic in handler",
+			"method", r.Method, "path", r.URL.Path,
+			"panic", rec, "stack", string(debug.Stack()))
+		if !rw.committed {
+			writeErrorCode(rw, http.StatusInternalServerError, codeInternalPanic,
+				"internal panic while handling the request")
+		}
+	}()
+	s.mux.ServeHTTP(rw, r)
 }
+
+// recordingWriter remembers whether the response header was committed, so
+// the recovery middleware knows whether a structured 500 can still be
+// sent. Unwrap keeps http.ResponseController (flushing) working through
+// the wrapper.
+type recordingWriter struct {
+	http.ResponseWriter
+	committed bool
+}
+
+func (rw *recordingWriter) WriteHeader(code int) {
+	rw.committed = true
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *recordingWriter) Write(b []byte) (int, error) {
+	rw.committed = true
+	return rw.ResponseWriter.Write(b)
+}
+
+func (rw *recordingWriter) Unwrap() http.ResponseWriter { return rw.ResponseWriter }
 
 // DatasetInfo is the wire description of a registered dataset.
 type DatasetInfo struct {
@@ -163,10 +283,32 @@ func (d *dataset) info() DatasetInfo {
 }
 
 // Register adds an instance under the name programmatically (daemon
-// preloading and tests; HTTP clients use POST /v1/datasets). The instance
-// must not be mutated afterwards — the dataset's shared session aliases
-// it for its whole lifetime.
+// preloading and tests; HTTP clients use POST /v1/datasets), writing
+// through to the durable store when one is attached: the dataset is
+// registered only if its snapshot also landed on disk. The instance must
+// not be mutated afterwards — the dataset's shared session aliases it for
+// its whole lifetime. A name collision reports ErrDatasetExists.
 func (s *Server) Register(name string, in *relatrust.Instance) (DatasetInfo, error) {
+	info, err := s.register(name, in)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if s.opt.Store != nil {
+		if err := s.opt.Store.Save(name, in); err != nil {
+			// Roll the in-memory reservation back: a dataset the store
+			// could not persist would silently vanish on restart.
+			s.mu.Lock()
+			delete(s.datasets, name)
+			s.mu.Unlock()
+			return DatasetInfo{}, fmt.Errorf("server: persisting dataset %q: %w", name, err)
+		}
+	}
+	return info, nil
+}
+
+// register inserts into the in-memory registry only (the rehydration path,
+// and the first half of Register).
+func (s *Server) register(name string, in *relatrust.Instance) (DatasetInfo, error) {
 	if err := validateDatasetName(name); err != nil {
 		return DatasetInfo{}, err
 	}
@@ -179,15 +321,43 @@ func (s *Server) Register(name string, in *relatrust.Instance) (DatasetInfo, err
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.datasets[name]; ok {
-		return DatasetInfo{}, fmt.Errorf("server: dataset %q already registered", name)
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	s.datasets[name] = d
 	return d.info(), nil
 }
 
+// Rehydrate loads every dataset persisted in the attached store into the
+// registry (no-op without a store) and returns how many it registered.
+// Corrupt snapshots were already quarantined by the store; a name that is
+// somehow both preloaded and persisted keeps the in-memory one, with a
+// log line.
+func (s *Server) Rehydrate() (int, error) {
+	if s.opt.Store == nil {
+		return 0, nil
+	}
+	loaded, err := s.opt.Store.LoadAll()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, d := range loaded {
+		if _, err := s.register(d.Name, d.Instance); err != nil {
+			s.log.Warn("server: skipping persisted dataset", "name", d.Name, "err", err)
+			continue
+		}
+		n++
+	}
+	return n, nil
+}
+
 func validateDatasetName(name string) error {
-	if name == "" || len(name) > 128 || strings.ContainsAny(name, "/\x00 \t\n") {
-		return fmt.Errorf("server: invalid dataset name %q (non-empty, ≤128 chars, no spaces or slashes)", name)
+	// The constraints are the union of the registry's and the snapshot
+	// store's (names become file stems there), so a dataset never
+	// registers in memory but fails to persist on a name technicality.
+	if name == "" || len(name) > 128 || strings.ContainsAny(name, "/\\\x00 \t\n") ||
+		strings.HasPrefix(name, ".") || strings.Contains(name, ".snap") {
+		return fmt.Errorf("server: invalid dataset name %q (non-empty, ≤128 chars, no spaces, slashes, leading dots, or .snap)", name)
 	}
 	return nil
 }
@@ -229,8 +399,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, err := s.Register(req.Name, in)
-	if err != nil {
+	switch {
+	case errors.Is(err, ErrDatasetExists):
 		writeErrorCode(w, http.StatusConflict, codeDatasetExists, "%v", err)
+		return
+	case err != nil:
+		// The write-through to the snapshot store failed; nothing was
+		// registered (see Register's rollback).
+		writeErrorCode(w, http.StatusInternalServerError, codeStorage, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
@@ -268,6 +444,14 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusNotFound, codeUnknownDataset, "dataset %q is not registered", name)
 		return
 	}
+	if s.opt.Store != nil {
+		// The registry entry is gone either way; a snapshot the store
+		// could not remove resurfaces on the next boot, which beats
+		// resurrecting the handler's response with an error.
+		if err := s.opt.Store.Delete(name); err != nil {
+			s.log.Error("server: deleting persisted dataset", "name", name, "err", err)
+		}
+	}
 	// In-flight sweeps over the dataset keep their references and finish
 	// normally; the session is garbage once they do.
 	w.WriteHeader(http.StatusNoContent)
@@ -277,6 +461,90 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		OK bool `json:"ok"`
 	}{true})
+}
+
+// beginSweepSlot is the admission decision of the sweeping handlers:
+// nil on success (endSweepSlot must follow), ErrShuttingDown once
+// BeginShutdown ran, errOverloaded when the global in-flight cap or the
+// dataset's semaphore is saturated — the request is shed, never queued.
+func (s *Server) beginSweepSlot(d *dataset) error {
+	s.sweepMu.Lock()
+	if s.draining {
+		s.sweepMu.Unlock()
+		return ErrShuttingDown
+	}
+	s.sweeps.Add(1)
+	s.sweepMu.Unlock()
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.sweeps.Done()
+		return errOverloaded
+	}
+	select {
+	case d.sem <- struct{}{}:
+	default:
+		<-s.inflight
+		s.sweeps.Done()
+		return errOverloaded
+	}
+	return nil
+}
+
+func (s *Server) endSweepSlot(d *dataset) {
+	<-d.sem
+	<-s.inflight
+	s.sweeps.Done()
+}
+
+// errOverloaded marks a shed sweep internally; the wire sees 429
+// overloaded with a Retry-After.
+var errOverloaded = errors.New("server: sweep capacity saturated")
+
+// BeginShutdown stops admitting sweeps: every subsequent repair-family
+// request is answered 503 shutting_down. Registration and read endpoints
+// keep working so health checks and drain monitoring stay truthful.
+func (s *Server) BeginShutdown() {
+	s.sweepMu.Lock()
+	s.draining = true
+	s.sweepMu.Unlock()
+}
+
+// Drain blocks until every in-flight sweep finished, or ctx expires
+// (returning its cause). Call BeginShutdown first, or new sweeps keep
+// extending the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.sweeps.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// Close empties the registry, dropping every shared session. Sessions
+// hold no OS resources — sweeps still running keep their forks alive and
+// everything is garbage once they return.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.datasets = make(map[string]*dataset)
+	s.mu.Unlock()
+}
+
+// Shutdown is the graceful sequence the daemon runs: stop admitting,
+// drain in-flight sweeps within ctx, then drop the registry. The drain
+// error (deadline exceeded with streams still running) is returned after
+// Close so callers can report a dirty shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginShutdown()
+	err := s.Drain(ctx)
+	s.Close()
+	return err
 }
 
 // DatasetStatz is the per-dataset block of GET /statz.
@@ -292,7 +560,10 @@ type DatasetStatz struct {
 	SweepsFinished  int64 `json:"sweeps_finished"`
 	SweepsCancelled int64 `json:"sweeps_cancelled"`
 	SweepsFailed    int64 `json:"sweeps_failed"`
-	RowsStreamed    int64 `json:"rows_streamed"`
+	// SweepsShed counts requests answered 429 because the dataset's
+	// semaphore or the global in-flight cap was saturated.
+	SweepsShed   int64 `json:"sweeps_shed"`
+	RowsStreamed int64 `json:"rows_streamed"`
 	// PartitionCacheHitRate is the hit rate reported by the most recently
 	// finished sweep (0 until one finishes).
 	PartitionCacheHitRate float64 `json:"partition_cache_hit_rate"`
@@ -303,14 +574,28 @@ type DatasetStatz struct {
 	SessionBuilds   int64 `json:"session_builds"`
 }
 
-// Statz is the body of GET /statz.
-type Statz struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Sessions      int            `json:"sessions"`
-	Datasets      []DatasetStatz `json:"datasets"`
+// StoreStatz is the snapshot-store block of GET /statz (present only when
+// a store is attached).
+type StoreStatz struct {
+	Saves       int64 `json:"saves"`
+	Loads       int64 `json:"loads"`
+	Quarantined int64 `json:"quarantined"`
 }
 
-func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+// Statz is the body of GET /statz.
+type Statz struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Sessions      int     `json:"sessions"`
+	// PanicsRecovered counts panics contained by the recovery layers —
+	// each one failed a single request, not the process.
+	PanicsRecovered int64          `json:"panics_recovered"`
+	Store           *StoreStatz    `json:"store,omitempty"`
+	Datasets        []DatasetStatz `json:"datasets"`
+}
+
+// statzBody gathers the full statistics snapshot (shared by /statz and
+// /metrics).
+func (s *Server) statzBody() Statz {
 	s.mu.RLock()
 	stats := make([]DatasetStatz, 0, len(s.datasets))
 	for _, d := range s.datasets {
@@ -318,11 +603,21 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.RUnlock()
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
-	writeJSON(w, http.StatusOK, Statz{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Sessions:      len(stats),
-		Datasets:      stats,
-	})
+	body := Statz{
+		UptimeSeconds:   s.now().Sub(s.start).Seconds(),
+		Sessions:        len(stats),
+		PanicsRecovered: s.panics.Load(),
+		Datasets:        stats,
+	}
+	if s.opt.Store != nil {
+		st := s.opt.Store.Stats()
+		body.Store = &StoreStatz{Saves: st.Saves, Loads: st.Loads, Quarantined: st.Quarantined}
+	}
+	return body
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statzBody())
 }
 
 func (d *dataset) statz() DatasetStatz {
@@ -336,6 +631,7 @@ func (d *dataset) statz() DatasetStatz {
 		SweepsFinished:        d.sweepsFinished,
 		SweepsCancelled:       d.sweepsCancelled,
 		SweepsFailed:          d.sweepsFailed,
+		SweepsShed:            d.sweepsShed,
 		RowsStreamed:          d.rowsStreamed,
 		PartitionCacheHitRate: d.lastHitRate,
 		SessionAcquires:       sess.Acquires,

@@ -444,10 +444,10 @@ func TestRepairStreamDeadline(t *testing.T) {
 	}
 }
 
-// TestSweepSemaphore: with MaxSweepsPerDataset=1, a second sweep waits in
-// line while the first holds the slot, and a bounded wait under its own
-// deadline reports deadline_exceeded without ever streaming.
-func TestSweepSemaphore(t *testing.T) {
+// TestSweepShedding: with MaxSweepsPerDataset=1, a second sweep finding
+// the slot held is shed immediately — 429 overloaded with a Retry-After
+// header, never queued — and succeeds on retry once the slot frees up.
+func TestSweepShedding(t *testing.T) {
 	ts, srv, obs := newTestServer(t, Options{MaxSweepsPerDataset: 1})
 	registerPaper(t, ts.URL)
 
@@ -466,24 +466,26 @@ func TestSweepSemaphore(t *testing.T) {
 		t.Fatal("first sweep never reached the gate")
 	}
 
-	// Second sweep with a short deadline: it cannot get the slot, so it
-	// fails before streaming with a proper status (not in-band).
-	raw, err := json.Marshal(RepairRequest{Dataset: "paper", FDs: paperFDs, TimeoutMS: 30})
+	// Second sweep: shed with a proper status (not in-band), carrying the
+	// retry hint.
+	resp2, err := http.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp2, err := http.Post(ts.URL+"/v1/repair", "application/json", bytes.NewReader(raw))
-	if err != nil {
-		t.Fatal(err)
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Error("shed response has no Retry-After header")
 	}
-	wantErrorCode(t, resp2, http.StatusGatewayTimeout, codeDeadline)
+	wantErrorCode(t, resp2, http.StatusTooManyRequests, codeOverloaded)
 
 	d := srv.lookup("paper").statz()
 	if d.ActiveSweeps != 1 {
 		t.Errorf("active sweeps = %d while the gate is held", d.ActiveSweeps)
 	}
 	if d.SweepsStarted != 1 {
-		t.Errorf("the waiting sweep started anyway: %+v", d)
+		t.Errorf("the shed sweep started anyway: %+v", d)
+	}
+	if d.SweepsShed != 1 {
+		t.Errorf("sweeps_shed = %d, want 1", d.SweepsShed)
 	}
 
 	close(release)
@@ -495,5 +497,55 @@ func TestSweepSemaphore(t *testing.T) {
 	}
 	if rows < 2 {
 		t.Errorf("first sweep streamed %d rows", rows)
+	}
+
+	// With the slot free again, the retry is admitted and streams.
+	resp3, err := http.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("retry status = %d, want 200", resp3.StatusCode)
+	}
+	rows = 0
+	sc = bufio.NewScanner(resp3.Body)
+	for sc.Scan() {
+		rows++
+	}
+	if rows < 2 {
+		t.Errorf("retried sweep streamed %d rows", rows)
+	}
+}
+
+// TestGlobalSweepCap: the cross-dataset in-flight cap sheds even when the
+// target dataset's own semaphore has room.
+func TestGlobalSweepCap(t *testing.T) {
+	ts, _, obs := newTestServer(t, Options{MaxSweepsPerDataset: 2, MaxConcurrentSweeps: 1})
+	registerPaper(t, ts.URL)
+
+	reached, release := gateAtSecondTau(obs)
+	defer obs.set(nil)
+
+	resp1, err := http.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp1.Body.Close()
+	select {
+	case <-reached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first sweep never reached the gate")
+	}
+
+	resp2, err := http.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrorCode(t, resp2, http.StatusTooManyRequests, codeOverloaded)
+
+	close(release)
+	sc := bufio.NewScanner(resp1.Body)
+	for sc.Scan() {
 	}
 }

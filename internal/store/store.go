@@ -1,0 +1,263 @@
+// Package store persists registered datasets as columnar snapshot files,
+// so a restarted daemon rehydrates its registry instead of losing every
+// uploaded instance.
+//
+// # Layout and durability
+//
+// A Store owns one directory; each dataset lives in a single file
+// "<name>.snap" holding one relation snapshot (format RTSNAP01, see
+// relation.WriteSnapshot): per-attribute value dictionaries plus int32
+// code columns, checksummed, so loading rehydrates the instance together
+// with its dictionary-code columns and pays no re-interning. Save writes
+// atomically — the snapshot goes to a temp file in the same directory,
+// is fsynced, and is renamed over the target — so a crash mid-write
+// leaves either the old snapshot or the new one, never a torn file.
+//
+// # Corruption
+//
+// A snapshot that fails its checksum or structure checks is *quarantined*,
+// never fatal: LoadAll renames it to "<name>.snap.corrupt", emits one
+// structured log line, and carries on with the remaining datasets. A
+// repaired or re-uploaded dataset simply writes a fresh snapshot. I/O
+// errors (permissions, a vanished directory) are surfaced to the caller —
+// they are operational problems, not data damage.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"relatrust/internal/faultinject"
+	"relatrust/internal/relation"
+)
+
+// snapExt is the dataset snapshot suffix; quarantined files get
+// snapExt + corruptExt.
+const (
+	snapExt    = ".snap"
+	corruptExt = ".corrupt"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// Logger receives quarantine and skip events. nil selects
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// Store is a directory of dataset snapshots. Methods are safe for
+// concurrent use; concurrent Saves of the same name serialize on the
+// atomic rename (last writer wins).
+type Store struct {
+	dir string
+	log *slog.Logger
+
+	saves       atomic.Int64
+	loads       atomic.Int64
+	quarantined atomic.Int64
+}
+
+// Stats counts a store's lifetime activity (exported via /statz and
+// /metrics).
+type Stats struct {
+	// Saves is the number of snapshots written successfully.
+	Saves int64
+	// Loads is the number of snapshots decoded successfully.
+	Loads int64
+	// Quarantined is the number of corrupt snapshots renamed aside.
+	Quarantined int64
+}
+
+// Open returns a store over dir, creating the directory if needed.
+func Open(dir string, opt Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	log := opt.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Store{dir: dir, log: log}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the lifetime counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Saves:       s.saves.Load(),
+		Loads:       s.loads.Load(),
+		Quarantined: s.quarantined.Load(),
+	}
+}
+
+// validName guards the name→filename mapping: a dataset name is used
+// verbatim as the file stem, so anything that could escape the directory
+// or collide with the store's own suffixes is rejected.
+func validName(name string) error {
+	switch {
+	case name == "" || len(name) > 128:
+		return fmt.Errorf("store: invalid dataset name %q (need 1-128 chars)", name)
+	case strings.ContainsAny(name, "/\\\x00") || strings.HasPrefix(name, "."):
+		return fmt.Errorf("store: invalid dataset name %q (no path separators or leading dots)", name)
+	case strings.Contains(name, snapExt):
+		return fmt.Errorf("store: invalid dataset name %q (reserved suffix %s)", name, snapExt)
+	}
+	return nil
+}
+
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, name+snapExt)
+}
+
+// Save persists the instance under the name, atomically replacing any
+// previous snapshot: the bytes land in a temp file first and are renamed
+// over the target only after a successful write and fsync.
+func (s *Store) Save(name string, in *relation.Instance) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if err := faultinject.Hit(faultinject.StoreWrite); err != nil {
+		return fmt.Errorf("store: saving %q: %w", name, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: saving %q: %w", name, err)
+	}
+	// Any failure below removes the temp file; the old snapshot (if any)
+	// is untouched until the final rename.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: saving %q: %w", name, err)
+	}
+	if err := relation.WriteSnapshot(tmp, in); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: saving %q: %w", name, err)
+	}
+	s.saves.Add(1)
+	return nil
+}
+
+// Load reads one snapshot. A missing dataset reports fs.ErrNotExist; a
+// corrupt snapshot reports relation.ErrSnapshotCorrupt (and is NOT
+// quarantined — only LoadAll, the boot path, moves files aside).
+func (s *Store) Load(name string) (*relation.Instance, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	return s.loadFile(s.path(name))
+}
+
+func (s *Store) loadFile(path string) (*relation.Instance, error) {
+	if err := faultinject.Hit(faultinject.StoreLoad); err != nil {
+		return nil, fmt.Errorf("store: loading %s: %w", filepath.Base(path), err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	in, err := relation.ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: loading %s: %w", filepath.Base(path), err)
+	}
+	s.loads.Add(1)
+	return in, nil
+}
+
+// Delete removes the snapshot of the name. Deleting a dataset that has no
+// snapshot is not an error (idempotent).
+func (s *Store) Delete(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: deleting %q: %w", name, err)
+	}
+	return nil
+}
+
+// List returns the persisted dataset names in sorted order.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), snapExt); ok && !e.IsDir() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Dataset is one rehydrated dataset.
+type Dataset struct {
+	Name     string
+	Instance *relation.Instance
+}
+
+// LoadAll rehydrates every snapshot in the directory, in sorted name
+// order. A snapshot that fails to decode is skipped with a structured log
+// line — corrupt files are additionally quarantined (renamed aside) so
+// the next boot does not trip over them again — and never aborts the
+// load: the error return covers only directory-level I/O failure.
+func (s *Store) LoadAll() ([]Dataset, error) {
+	names, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Dataset, 0, len(names))
+	for _, name := range names {
+		path := s.path(name)
+		in, err := s.loadFile(path)
+		if err != nil {
+			if errors.Is(err, relation.ErrSnapshotCorrupt) {
+				s.quarantine(path, err)
+			} else {
+				s.log.Error("store: skipping unreadable snapshot",
+					"file", path, "err", err)
+			}
+			continue
+		}
+		out = append(out, Dataset{Name: name, Instance: in})
+	}
+	return out, nil
+}
+
+// quarantine moves a corrupt snapshot aside so it is preserved for
+// inspection but never reloaded, and logs the event.
+func (s *Store) quarantine(path string, cause error) {
+	s.quarantined.Add(1)
+	qpath := path + corruptExt
+	if err := os.Rename(path, qpath); err != nil {
+		s.log.Error("store: quarantining corrupt snapshot failed",
+			"file", path, "cause", cause, "err", err)
+		return
+	}
+	s.log.Error("store: quarantined corrupt snapshot",
+		"file", path, "quarantined_as", qpath, "err", cause)
+}

@@ -100,6 +100,9 @@ type (
 	SchemaMismatchError = repair.SchemaMismatchError
 	// BudgetError is the typed form of ErrNoRepairInBudget, carrying τ.
 	BudgetError = repair.BudgetError
+	// PanicError is the typed form of ErrPanic: a panic recovered inside
+	// the parallel sweep machinery, carrying the panic value and stack.
+	PanicError = search.PanicError
 )
 
 // Progress milestones (see ProgressEvent).
@@ -128,6 +131,9 @@ var (
 	ErrNoRepairInBudget = repair.ErrNoRepairInBudget
 	// ErrMaxVisited: the FD-modification search hit Options.MaxVisited.
 	ErrMaxVisited = search.ErrMaxVisited
+	// ErrPanic: a panic was recovered during a sweep; the sweep failed
+	// but the session and process stay usable.
+	ErrPanic = search.ErrPanic
 )
 
 // NewSchema builds a schema from attribute names.
