@@ -1,0 +1,122 @@
+package main
+
+// Daemon-level e2e for the durable job tier: -jobs-dir persists job
+// records and frontier checkpoints across a full process stop/start, and
+// the rebooted daemon serves the completed frontier from its result log
+// without running a new sweep. Mid-sweep resume (graceful interrupt and
+// simulated crash) is covered deterministically at the handler level in
+// internal/server; this test pins the flag plumbing and boot sequencing.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJobPersistsAcrossRestart(t *testing.T) {
+	dataDir, jobsDir := t.TempDir(), t.TempDir()
+	csvPath := filepath.Join(t.TempDir(), "paper.csv")
+	csv := "A,B,C,D\n1,1,1,1\n1,2,1,3\n2,2,1,1\n2,3,4,3\n"
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out1, err1 safeBuilder
+	base1, stop1 := bootDaemon(t, &out1, &err1,
+		"-data-dir", dataDir, "-jobs-dir", jobsDir, "-dataset", "paper="+csvPath)
+
+	body, err := json.Marshal(map[string]any{"dataset": "paper", "fds": "A->B; C->D", "seed": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base1+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d, want 201", resp.StatusCode)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for job.State != "completed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never completed; state %q", job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(base1 + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	want := streamJobRows(t, base1, job.ID)
+	if len(want) < 2 {
+		t.Fatalf("first daemon streamed %d job rows", len(want))
+	}
+	if code := stop1(); code != 0 {
+		t.Fatalf("first daemon exit code %d, stderr %q", code, err1.String())
+	}
+
+	var out2, err2 safeBuilder
+	base2, stop2 := bootDaemon(t, &out2, &err2,
+		"-data-dir", dataDir, "-jobs-dir", jobsDir)
+	got := streamJobRows(t, base2, job.ID)
+	if len(got) != len(want) {
+		t.Fatalf("replayed frontier has %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d differs after restart:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+	if code := stop2(); code != 0 {
+		t.Fatalf("second daemon exit code %d, stderr %q", code, err2.String())
+	}
+	// The completed job rehydrated without a resumed sweep.
+	if out := out2.String(); !strings.Contains(out, "resumed 0 job(s)") {
+		t.Errorf("second boot stdout %q, want a resumed 0 job(s) line", out)
+	}
+}
+
+// streamJobRows replays a job's stream and returns the raw frame lines,
+// failing on any in-band error frame.
+func streamJobRows(t *testing.T, base, id string) []string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200", resp.StatusCode)
+	}
+	var rows []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"error"`) {
+			t.Fatalf("stream error: %s", sc.Text())
+		}
+		rows = append(rows, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}

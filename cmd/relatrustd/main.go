@@ -59,6 +59,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 0, "default search parallelism per sweep (0 = GOMAXPROCS; requests may override)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
 		dataDir   = fs.String("data-dir", "", "directory for durable dataset snapshots (empty = in-memory registry only)")
+		jobsDir   = fs.String("jobs-dir", "", "directory for durable job records and frontier checkpoints (empty = in-memory jobs only)")
+		maxWarm   = fs.Int("max-warm-sessions", 0, "maximum datasets keeping a warm session; least recently swept is evicted (0 = unbounded)")
+		maxJobRes = fs.Int64("max-job-results-bytes", 0, "maximum bytes of finished jobs' result logs before the oldest are evicted (0 = unbounded)")
 		datasets  datasetFlags
 	)
 	fs.Var(&datasets, "dataset", "preload a dataset as name=path.csv (repeatable)")
@@ -73,6 +76,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxSweepsPerDataset: *maxSweeps,
 		MaxConcurrentSweeps: *maxTotal,
 		Workers:             *workers,
+		MaxWarmSessions:     *maxWarm,
+		MaxJobResultsBytes:  *maxJobRes,
 	}
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir, store.Options{})
@@ -81,6 +86,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		opt.Store = st
+	}
+	if *jobsDir != "" {
+		js, err := store.OpenJobs(*jobsDir, store.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "relatrustd:", err)
+			return 1
+		}
+		opt.JobStore = js
 	}
 	srv := server.New(opt)
 	if opt.Store != nil {
@@ -110,6 +123,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "relatrustd: preloaded dataset %q (%d tuples × %d attributes)\n",
 			info.Name, info.Tuples, len(info.Attributes))
+	}
+	if opt.JobStore != nil {
+		// After Rehydrate and the preloads, so resumed jobs find their
+		// datasets. Jobs whose records still say "running" continue from
+		// their last checkpointed τ; finished ones become streamable again.
+		n, err := srv.RecoverJobs()
+		if err != nil {
+			fmt.Fprintln(stderr, "relatrustd:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "relatrustd: resumed %d job(s) from %s\n", n, *jobsDir)
 	}
 
 	hs := &http.Server{

@@ -32,4 +32,13 @@ const (
 	SweepStart = "server/sweep-start"
 	// StreamEmit fires before each frontier row is written to the stream.
 	StreamEmit = "server/stream-emit"
+	// JobRecordWrite fires in store.JobStore.SaveRecord before a job
+	// record is written.
+	JobRecordWrite = "jobs/record-write"
+	// JobCheckpoint fires in store.JobStore.AppendResult before a frontier
+	// row is appended to a job's result log.
+	JobCheckpoint = "jobs/checkpoint"
+	// JobResumeLoad fires in store.JobStore.LoadAll before each persisted
+	// job record is decoded at boot.
+	JobResumeLoad = "jobs/resume-load"
 )

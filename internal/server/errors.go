@@ -39,6 +39,8 @@ const (
 	codeBadFDs           = "bad_fds"
 	codeUnknownDataset   = "unknown_dataset"
 	codeDatasetExists    = "dataset_exists"
+	codeUnknownJob       = "unknown_job"
+	codeDatasetDeleted   = "dataset_deleted"
 	codeEmptyFDSet       = "empty_fd_set"
 	codeEmptyInstance    = "empty_instance"
 	codeSchemaMismatch   = "schema_mismatch"

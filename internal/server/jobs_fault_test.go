@@ -1,0 +1,201 @@
+//go:build faultinject
+
+package server
+
+// Fault-injection tests for the durable job tier (go test -tags
+// faultinject): record-write failures roll submissions back, checkpoint
+// failures fail the job (not the process), resume-load failures skip
+// records at boot, and — the crash acceptance test — a daemon that dies
+// mid-sweep with its terminal record unwritten resumes from the last
+// checkpointed τ with a byte-identical stream.
+
+import (
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"relatrust/internal/faultinject"
+)
+
+// TestFaultJobRecordWriteFails: when the initial record cannot be
+// persisted the submission aborts with 500 storage, nothing is admitted
+// (the slot frees), and the same submission succeeds once the fault
+// clears.
+func TestFaultJobRecordWriteFails(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	ts, srv, _ := newJobServer(t, "", t.TempDir(), Options{})
+	registerPaper(t, ts.URL)
+
+	faultinject.Set(faultinject.JobRecordWrite, func() error {
+		return errors.New("injected: job record unwritable")
+	})
+	resp := postJSON(t, ts.URL+"/v1/jobs", jobRequest(9))
+	wantErrorCode(t, resp, http.StatusInternalServerError, codeStorage)
+
+	var list struct {
+		Jobs []JobInfo `json:"jobs"`
+	}
+	lresp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, lresp, &list)
+	if len(list.Jobs) != 0 {
+		t.Fatalf("failed submission left %d jobs in the registry", len(list.Jobs))
+	}
+	if d := srv.lookup("paper").statz(); d.ActiveSweeps != 0 {
+		t.Fatalf("failed submission leaked %d sweep slots", d.ActiveSweeps)
+	}
+
+	faultinject.Reset()
+	info, status := submitJob(t, ts.URL, jobRequest(9))
+	if status != http.StatusCreated {
+		t.Fatalf("post-fault submit: status %d", status)
+	}
+	waitJob(t, ts.URL, info.ID, func(i JobInfo) bool { return i.State == "completed" }, "completed")
+}
+
+// TestFaultJobCheckpointFails: a result-log append failure fails the job
+// with the storage code — followers get the structured error, the slot
+// frees, the process stays up — and resubmission after the fault clears
+// restarts the sweep to a full, oracle-identical frontier.
+func TestFaultJobCheckpointFails(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	want := frontierFrames(t, 9)
+	ts, srv, _ := newJobServer(t, "", t.TempDir(), Options{})
+	registerPaper(t, ts.URL)
+
+	faultinject.Set(faultinject.JobCheckpoint, func() error {
+		return errors.New("injected: checkpoint append failed")
+	})
+	info, status := submitJob(t, ts.URL, jobRequest(9))
+	if status != http.StatusCreated {
+		t.Fatalf("submit: status %d", status)
+	}
+	failed := waitJob(t, ts.URL, info.ID, func(i JobInfo) bool { return i.State == "failed" }, "failed")
+	if failed.Error == nil || failed.Error.Code != codeStorage {
+		t.Fatalf("failed job error %+v, want %s", failed.Error, codeStorage)
+	}
+	if rows, terminal := readJobStream(t, ts.URL, info.ID, 0); terminal == nil || terminal.Code != codeStorage || len(rows) != 0 {
+		t.Fatalf("failed stream: %d rows, terminal %+v", len(rows), terminal)
+	}
+	if d := srv.lookup("paper").statz(); d.ActiveSweeps != 0 {
+		t.Fatalf("failed sweep leaked %d slots", d.ActiveSweeps)
+	}
+
+	faultinject.Reset()
+	retry, status := submitJob(t, ts.URL, jobRequest(9))
+	if status != http.StatusCreated || retry.ID != info.ID {
+		t.Fatalf("resubmit: status %d id %s, want 201 %s (restart, not coalesce)", status, retry.ID, info.ID)
+	}
+	waitJob(t, ts.URL, info.ID, func(i JobInfo) bool { return i.State == "completed" }, "completed")
+	rows, terminal := readJobStream(t, ts.URL, info.ID, 0)
+	if terminal != nil || len(rows) != len(want) {
+		t.Fatalf("post-fault stream: %d rows, terminal %+v", len(rows), terminal)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d differs after checkpoint-fault restart", i)
+		}
+	}
+}
+
+// TestFaultJobResumeLoadSkips: an I/O error while loading job records at
+// boot skips them without failing the boot; the next recovery picks the
+// jobs up intact.
+func TestFaultJobResumeLoadSkips(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dataDir, jobsDir := t.TempDir(), t.TempDir()
+	ts1, _, _ := newJobServer(t, dataDir, jobsDir, Options{})
+	registerPaper(t, ts1.URL)
+	info, _ := submitJob(t, ts1.URL, jobRequest(9))
+	done := waitJob(t, ts1.URL, info.ID, func(i JobInfo) bool { return i.State == "completed" }, "completed")
+	ts1.Close()
+
+	faultinject.Set(faultinject.JobResumeLoad, func() error {
+		return errors.New("injected: transient read failure")
+	})
+	ts2, srv2, _ := newJobServer(t, dataDir, jobsDir, Options{})
+	if n, err := srv2.RecoverJobs(); err != nil || n != 0 {
+		t.Fatalf("RecoverJobs under load faults = (%d, %v), want (0, nil)", n, err)
+	}
+	resp, err := http.Get(ts2.URL + "/v1/jobs/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrorCode(t, resp, http.StatusNotFound, codeUnknownJob)
+
+	// Skipped, not quarantined: the record recovers once the fault clears.
+	faultinject.Reset()
+	if n, err := srv2.RecoverJobs(); err != nil || n != 0 {
+		t.Fatalf("post-fault RecoverJobs = (%d, %v), want (0, nil): the job is terminal", n, err)
+	}
+	got := getJob(t, ts2.URL, info.ID)
+	if got.State != "completed" || got.Rows != done.Rows {
+		t.Fatalf("recovered job %+v, want completed with %d rows", got, done.Rows)
+	}
+}
+
+// TestFaultCrashResumeByteIdentical is the crash acceptance test: the
+// sweep dies after two checkpointed rows AND the terminal record write
+// fails — on disk that is indistinguishable from SIGKILL mid-sweep (a
+// "running" record plus two durable frames). A second server over the
+// same directories resumes from the last checkpointed τ and its full
+// stream is byte-identical to an uninterrupted run.
+func TestFaultCrashResumeByteIdentical(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	want := frontierFrames(t, 9)
+	dataDir, jobsDir := t.TempDir(), t.TempDir()
+	ts1, _, _ := newJobServer(t, dataDir, jobsDir, Options{})
+	registerPaper(t, ts1.URL)
+
+	// Checkpoint 1 and 2 land; the third append "crashes". Every record
+	// write after the initial "running" one fails too, so the terminal
+	// state never reaches disk — exactly a process killed mid-sweep.
+	var checkpoints, records atomic.Int64
+	faultinject.Set(faultinject.JobCheckpoint, func() error {
+		if checkpoints.Add(1) >= 3 {
+			return errors.New("injected: crash during third checkpoint")
+		}
+		return nil
+	})
+	faultinject.Set(faultinject.JobRecordWrite, func() error {
+		if records.Add(1) >= 2 {
+			return errors.New("injected: crash before terminal record")
+		}
+		return nil
+	})
+	info, status := submitJob(t, ts1.URL, jobRequest(9))
+	if status != http.StatusCreated {
+		t.Fatalf("submit: status %d", status)
+	}
+	crashed := waitJob(t, ts1.URL, info.ID, func(i JobInfo) bool { return i.State == "failed" }, "failed")
+	if crashed.Rows != 2 {
+		t.Fatalf("crashed with %d checkpointed rows, want 2", crashed.Rows)
+	}
+	ts1.Close()
+	faultinject.Reset()
+
+	ts2, srv2, _ := newJobServer(t, dataDir, jobsDir, Options{})
+	n, err := srv2.RecoverJobs()
+	if err != nil || n != 1 {
+		t.Fatalf("RecoverJobs = (%d, %v), want 1 resumed: the durable record still says running", n, err)
+	}
+	waitJob(t, ts2.URL, info.ID, func(i JobInfo) bool { return i.State == "completed" }, "completed")
+	rows, terminal := readJobStream(t, ts2.URL, info.ID, 0)
+	if terminal != nil {
+		t.Fatalf("resumed stream terminal %+v", terminal)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("resumed stream has %d rows, want %d", len(rows), len(want))
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d:\n  resumed %s\n  want    %s", i, rows[i], want[i])
+		}
+	}
+	if got := srv2.statzBody().Jobs.Resumed; got != 1 {
+		t.Errorf("resumed counter = %d, want 1", got)
+	}
+}

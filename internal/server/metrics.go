@@ -23,7 +23,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	gauge("relatrust_uptime_seconds", "Seconds since the server started.", body.UptimeSeconds)
 	gauge("relatrust_datasets", "Registered datasets.", float64(body.Sessions))
+	gauge("relatrust_warm_sessions", "Datasets currently holding a warm session.", float64(body.WarmSessions))
+	gauge("relatrust_sessions_evicted_total", "Warm sessions evicted under MaxWarmSessions.", float64(body.SessionsEvicted))
 	gauge("relatrust_panics_recovered_total", "Panics contained by the recovery layers.", float64(body.PanicsRecovered))
+
+	gauge("relatrust_jobs_active", "Jobs currently running.", float64(body.Jobs.Active))
+	gauge("relatrust_jobs_completed", "Jobs whose frontier completed.", float64(body.Jobs.Completed))
+	gauge("relatrust_jobs_failed", "Jobs that ended in an error.", float64(body.Jobs.Failed))
+	gauge("relatrust_jobs_cancelled", "Jobs cancelled by request or dataset deletion.", float64(body.Jobs.Cancelled))
+	gauge("relatrust_jobs_resumed_total", "Job sweeps resumed from a checkpoint.", float64(body.Jobs.Resumed))
+	gauge("relatrust_jobs_coalesced_total", "Job submissions answered by an existing job.", float64(body.Jobs.Coalesced))
+	gauge("relatrust_job_checkpoint_bytes_total", "Bytes appended to durable job result logs.", float64(body.Jobs.CheckpointBytes))
+	gauge("relatrust_job_results_evicted_bytes_total", "Result-log bytes evicted under MaxJobResultsBytes.", float64(body.Jobs.ResultsEvictedBytes))
 
 	if body.Store != nil {
 		gauge("relatrust_store_saves_total", "Dataset snapshots written.", float64(body.Store.Saves))

@@ -13,6 +13,7 @@ import (
 	"relatrust"
 
 	"relatrust/internal/faultinject"
+	"relatrust/internal/jobs"
 	"relatrust/internal/report"
 	"relatrust/internal/weights"
 )
@@ -155,7 +156,7 @@ func (s *Server) options(d *dataset, req RepairRequest) (relatrust.Options, erro
 		MaxVisited:       req.MaxVisited,
 		Workers:          req.Workers,
 		NoPartitionCache: req.NoPartitionCache,
-		Session:          d.sess,
+		Session:          s.sessionFor(d),
 	}
 	if opt.Workers == 0 {
 		opt.Workers = s.opt.Workers
@@ -200,7 +201,10 @@ func (d *dataset) sweepDone(rows int, err error) {
 	switch {
 	case err == nil:
 		d.sweepsFinished++
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
+		// Job sweeps surface their cancellation causes directly.
+		errors.Is(err, jobs.ErrCancelled), errors.Is(err, jobs.ErrDatasetDeleted),
+		errors.Is(err, jobs.ErrInterrupted):
 		d.sweepsCancelled++
 	default:
 		d.sweepsFailed++

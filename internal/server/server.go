@@ -89,6 +89,7 @@ import (
 
 	"relatrust"
 
+	"relatrust/internal/jobs"
 	"relatrust/internal/store"
 )
 
@@ -117,6 +118,20 @@ type Options struct {
 	// every persisted dataset on boot, registration writes through, and
 	// deletion removes the snapshot.
 	Store *store.Store
+	// JobStore, when non-nil, makes the job tier durable: POST /v1/jobs
+	// records and frontier checkpoints persist, and RecoverJobs resumes
+	// interrupted sweeps on boot. nil keeps jobs in memory only (they
+	// still coalesce and stream, but a restart loses them).
+	JobStore *store.JobStore
+	// MaxJobResultsBytes bounds the result-log bytes held by terminal
+	// jobs; beyond it the oldest terminal jobs are evicted (counted by
+	// job_results_evicted_bytes). 0 = unbounded.
+	MaxJobResultsBytes int64
+	// MaxWarmSessions bounds how many datasets keep a warm session at
+	// once; beyond it the least recently swept session is dropped (counted
+	// by sessions_evicted) and rebuilt on the dataset's next sweep.
+	// 0 = unbounded.
+	MaxWarmSessions int
 	// Logger receives panic stacks and storage trouble. nil selects
 	// slog.Default().
 	Logger *slog.Logger
@@ -160,6 +175,17 @@ type Server struct {
 	draining bool
 	sweeps   sync.WaitGroup
 
+	// jobs owns the durable job tier (POST /v1/jobs).
+	jobs *jobs.Manager
+
+	// warmMu guards the warm-session budget (warmCount, warmClock); the
+	// per-dataset sess pointer itself lives under the dataset's mu. Lock
+	// order: warmMu, then mu, then a dataset's mu.
+	warmMu          sync.Mutex
+	warmCount       int
+	warmClock       int64
+	sessionsEvicted atomic.Int64
+
 	mu       sync.RWMutex
 	datasets map[string]*dataset
 }
@@ -177,11 +203,15 @@ var ErrShuttingDown = errors.New("server: shutting down")
 type dataset struct {
 	name string
 	in   *relatrust.Instance
-	sess *relatrust.Session
 	// sem bounds concurrent sweeps; acquire before any repair work.
 	sem chan struct{}
 
-	mu              sync.Mutex
+	mu sync.Mutex
+	// sess is built lazily on the first sweep and may be evicted under
+	// Options.MaxWarmSessions (sessUsed is the LRU stamp); in-flight
+	// sweeps keep their own references, so eviction never breaks them.
+	sess            *relatrust.Session
+	sessUsed        int64
 	sweepsStarted   int64
 	sweepsFinished  int64
 	sweepsCancelled int64
@@ -203,6 +233,15 @@ func New(opt Options) *Server {
 		inflight: make(chan struct{}, opt.MaxConcurrentSweeps),
 		datasets: make(map[string]*dataset),
 	}
+	s.jobs = jobs.New(jobs.Options{
+		Store:          opt.JobStore,
+		MaxResultBytes: opt.MaxJobResultsBytes,
+		Logger:         opt.Logger,
+		ErrorCode: func(err error) string {
+			_, body := mapError(err, nil)
+			return body.Error.Code
+		},
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
@@ -211,6 +250,11 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	mux.HandleFunc("POST /v1/repair/budget", s.handleBudget)
 	mux.HandleFunc("POST /v1/sample", s.handleSample)
@@ -315,7 +359,6 @@ func (s *Server) register(name string, in *relatrust.Instance) (DatasetInfo, err
 	d := &dataset{
 		name: name,
 		in:   in,
-		sess: relatrust.NewSession(in),
 		sem:  make(chan struct{}, s.opt.MaxSweepsPerDataset),
 	}
 	s.mu.Lock()
@@ -436,10 +479,19 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	s.warmMu.Lock()
 	s.mu.Lock()
-	_, ok := s.datasets[name]
+	d, ok := s.datasets[name]
 	delete(s.datasets, name)
+	if ok {
+		d.mu.Lock()
+		if d.sess != nil {
+			s.warmCount--
+		}
+		d.mu.Unlock()
+	}
 	s.mu.Unlock()
+	s.warmMu.Unlock()
 	if !ok {
 		writeErrorCode(w, http.StatusNotFound, codeUnknownDataset, "dataset %q is not registered", name)
 		return
@@ -452,8 +504,12 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 			s.log.Error("server: deleting persisted dataset", "name", name, "err", err)
 		}
 	}
-	// In-flight sweeps over the dataset keep their references and finish
-	// normally; the session is garbage once they do.
+	// Running jobs over the dataset are cancelled (their followers get a
+	// structured dataset_deleted error and the slots free as the sweeps
+	// unwind); terminal jobs over it are dropped with their result logs.
+	s.jobs.CancelDataset(name)
+	// In-flight request sweeps over the dataset keep their references and
+	// finish normally; the session is garbage once they do.
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -501,13 +557,76 @@ func (s *Server) endSweepSlot(d *dataset) {
 // overloaded with a Retry-After.
 var errOverloaded = errors.New("server: sweep capacity saturated")
 
+// sessionFor returns the dataset's warm session, building it on first use
+// and stamping it most-recently-used. When building pushes the warm count
+// over Options.MaxWarmSessions, the least recently used other session is
+// evicted: its dataset rebuilds (and re-pays the conflict analysis) on its
+// next sweep, while sweeps already holding the evicted session keep their
+// references and finish unaffected.
+func (s *Server) sessionFor(d *dataset) *relatrust.Session {
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	d.mu.Lock()
+	created := false
+	if d.sess == nil {
+		d.sess = relatrust.NewSession(d.in)
+		created = true
+	}
+	s.warmClock++
+	d.sessUsed = s.warmClock
+	sess := d.sess
+	d.mu.Unlock()
+	if created {
+		s.warmCount++
+		s.evictWarmLocked(d)
+	}
+	return sess
+}
+
+// evictWarmLocked enforces MaxWarmSessions (warmMu held), never evicting
+// the session just touched.
+func (s *Server) evictWarmLocked(keep *dataset) {
+	max := s.opt.MaxWarmSessions
+	if max <= 0 {
+		return
+	}
+	for s.warmCount > max {
+		var victim *dataset
+		var victimUsed int64
+		s.mu.RLock()
+		for _, d := range s.datasets {
+			if d == keep {
+				continue
+			}
+			d.mu.Lock()
+			if d.sess != nil && (victim == nil || d.sessUsed < victimUsed) {
+				victim, victimUsed = d, d.sessUsed
+			}
+			d.mu.Unlock()
+		}
+		s.mu.RUnlock()
+		if victim == nil {
+			return
+		}
+		victim.mu.Lock()
+		victim.sess = nil
+		victim.mu.Unlock()
+		s.warmCount--
+		s.sessionsEvicted.Add(1)
+	}
+}
+
 // BeginShutdown stops admitting sweeps: every subsequent repair-family
 // request is answered 503 shutting_down. Registration and read endpoints
 // keep working so health checks and drain monitoring stay truthful.
+// Running jobs are interrupted — not failed: their durable records keep
+// saying "running" and the next boot resumes them from their checkpoints —
+// so the Drain that follows is not held hostage by long sweeps.
 func (s *Server) BeginShutdown() {
 	s.sweepMu.Lock()
 	s.draining = true
 	s.sweepMu.Unlock()
+	s.jobs.Shutdown()
 }
 
 // Drain blocks until every in-flight sweep finished, or ctx expires
@@ -582,13 +701,36 @@ type StoreStatz struct {
 	Quarantined int64 `json:"quarantined"`
 }
 
+// JobsStatz is the job-tier block of GET /statz.
+type JobsStatz struct {
+	Active    int `json:"active"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Resumed counts sweeps restarted from a checkpoint (boot recovery or
+	// resubmission of a failed/cancelled job); Coalesced counts
+	// submissions answered by an already-known job without a new sweep.
+	Resumed   int64 `json:"resumed"`
+	Coalesced int64 `json:"coalesced"`
+	// CheckpointBytes counts bytes appended to durable result logs;
+	// ResultsEvictedBytes counts bytes dropped by MaxJobResultsBytes
+	// eviction.
+	CheckpointBytes     int64 `json:"checkpoint_bytes"`
+	ResultsEvictedBytes int64 `json:"results_evicted_bytes"`
+}
+
 // Statz is the body of GET /statz.
 type Statz struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Sessions      int     `json:"sessions"`
+	// WarmSessions counts datasets currently holding a built session;
+	// SessionsEvicted counts sessions dropped by MaxWarmSessions.
+	WarmSessions    int   `json:"warm_sessions"`
+	SessionsEvicted int64 `json:"sessions_evicted"`
 	// PanicsRecovered counts panics contained by the recovery layers —
 	// each one failed a single request, not the process.
 	PanicsRecovered int64          `json:"panics_recovered"`
+	Jobs            JobsStatz      `json:"jobs"`
 	Store           *StoreStatz    `json:"store,omitempty"`
 	Datasets        []DatasetStatz `json:"datasets"`
 }
@@ -603,11 +745,27 @@ func (s *Server) statzBody() Statz {
 	}
 	s.mu.RUnlock()
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+	s.warmMu.Lock()
+	warm := s.warmCount
+	s.warmMu.Unlock()
+	jst := s.jobs.Stats()
 	body := Statz{
 		UptimeSeconds:   s.now().Sub(s.start).Seconds(),
 		Sessions:        len(stats),
+		WarmSessions:    warm,
+		SessionsEvicted: s.sessionsEvicted.Load(),
 		PanicsRecovered: s.panics.Load(),
-		Datasets:        stats,
+		Jobs: JobsStatz{
+			Active:              jst.Active,
+			Completed:           jst.Completed,
+			Failed:              jst.Failed,
+			Cancelled:           jst.Cancelled,
+			Resumed:             jst.Resumed,
+			Coalesced:           jst.Coalesced,
+			CheckpointBytes:     jst.CheckpointBytes,
+			ResultsEvictedBytes: jst.ResultsEvictedBytes,
+		},
+		Datasets: stats,
 	}
 	if s.opt.Store != nil {
 		st := s.opt.Store.Stats()
@@ -621,10 +779,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (d *dataset) statz() DatasetStatz {
-	sess := d.sess.Stats()
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return DatasetStatz{
+	sess := d.sess
+	st := DatasetStatz{
 		DatasetInfo:           d.info(),
 		ActiveSweeps:          len(d.sem),
 		SweepsStarted:         d.sweepsStarted,
@@ -634,9 +791,17 @@ func (d *dataset) statz() DatasetStatz {
 		SweepsShed:            d.sweepsShed,
 		RowsStreamed:          d.rowsStreamed,
 		PartitionCacheHitRate: d.lastHitRate,
-		SessionAcquires:       sess.Acquires,
-		SessionBuilds:         sess.Builds,
 	}
+	d.mu.Unlock()
+	// A cold dataset (no sweep yet, or its session was evicted) reports
+	// zero session counters; the lifetime eviction count lives at the top
+	// level.
+	if sess != nil {
+		ss := sess.Stats()
+		st.SessionAcquires = ss.Acquires
+		st.SessionBuilds = ss.Builds
+	}
+	return st
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

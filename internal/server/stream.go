@@ -52,6 +52,28 @@ func (st *stream) row(v any) error {
 	return st.line(v)
 }
 
+// rawRow emits one already-encoded frontier frame (the job tier
+// checkpoints encoded rows, so replay and live rows share exact bytes
+// with /v1/repair's output: NDJSON appends the newline json.Encoder
+// would, SSE wraps the same payload in a "repair" event).
+func (st *stream) rawRow(payload []byte) error {
+	if st.sse {
+		if _, err := st.w.Write([]byte("event: repair\ndata: " + string(payload) + "\n\n")); err != nil {
+			return err
+		}
+		return st.rc.Flush()
+	}
+	// Two writes, not append(payload, '\n'): the frame bytes are shared
+	// with the job's in-memory log and must never be grown in place.
+	if _, err := st.w.Write(payload); err != nil {
+		return err
+	}
+	if _, err := st.w.Write([]byte{'\n'}); err != nil {
+		return err
+	}
+	return st.rc.Flush()
+}
+
 // fail emits the in-band error frame.
 func (st *stream) fail(body ErrorBody) {
 	if st.sse {

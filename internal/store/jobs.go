@@ -1,0 +1,374 @@
+package store
+
+// Job persistence: the durable half of the internal/jobs tier. A JobStore
+// owns one directory holding, per job, a record file ("<id>.job", format
+// RTJOB001: magic + crc32c + length + JSON payload, written atomically
+// like dataset snapshots) and an append-only result log ("<id>.rlog",
+// format RTJLOG01: a magic header followed by length+crc32c-framed
+// frontier rows, fsynced per append). The discipline matches RTSNAP01:
+// a crash mid-write leaves either the old record or the new one; a crash
+// mid-append leaves a torn final frame that the next open truncates away,
+// so every frame that survives a reboot is exactly the bytes that were
+// checkpointed. Corrupt records and unrecognizable logs are quarantined
+// ("<file>.corrupt"), never fatal.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"relatrust/internal/faultinject"
+)
+
+const (
+	jobExt = ".job"
+	logExt = ".rlog"
+
+	recordMagic = "RTJOB001"
+	logMagic    = "RTJLOG01"
+
+	// logFrameOverhead is the per-frame framing cost in the result log:
+	// a 4-byte little-endian payload length plus a 4-byte crc32c.
+	logFrameOverhead = 8
+	// maxLogFrame bounds one frame's payload; a length field beyond it is
+	// corruption, not a row.
+	maxLogFrame = 64 << 20
+)
+
+var jobCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrJobCorrupt marks a job record or result log that failed its checksum
+// or structure checks; match with errors.Is.
+var ErrJobCorrupt = errors.New("store: corrupt job file")
+
+// JobRecord is the durable identity and terminal state of one job. The
+// spec fields are the job's content address (the ID is derived from them
+// by internal/jobs); State is "running" until the sweep reaches a terminal
+// state, which is what makes boot-time resume possible: a record still
+// "running" after a crash is a sweep to continue from its result log.
+type JobRecord struct {
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	// FDs is the canonical (schema-formatted) FD set.
+	FDs     string `json:"fds"`
+	TauLow  int    `json:"tau_low"`
+	TauHigh int    `json:"tau_high"` // -1 = sweep from δP(Σ, I)
+	Weights string `json:"weights"`
+	Seed    int64  `json:"seed,omitempty"`
+	// IncludeChanges is part of the address: it changes the row bytes.
+	IncludeChanges bool `json:"include_changes,omitempty"`
+
+	State        string `json:"state"`
+	ErrorCode    string `json:"error_code,omitempty"`
+	ErrorMessage string `json:"error_message,omitempty"`
+	CreatedUnix  int64  `json:"created_unix,omitempty"`
+	UpdatedUnix  int64  `json:"updated_unix,omitempty"`
+}
+
+// JobStore is a directory of job records and result logs. Methods are safe
+// for concurrent use across distinct jobs; callers serialize per job (the
+// job manager owns each job's lifecycle).
+type JobStore struct {
+	dir string
+	log *slog.Logger
+
+	quarantined atomic.Int64
+}
+
+// OpenJobs returns a job store over dir, creating the directory if needed.
+func OpenJobs(dir string, opt Options) (*JobStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty jobs directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	log := opt.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	return &JobStore{dir: dir, log: log}, nil
+}
+
+// Dir returns the store's directory.
+func (s *JobStore) Dir() string { return s.dir }
+
+// Quarantined returns how many corrupt job files were renamed aside.
+func (s *JobStore) Quarantined() int64 { return s.quarantined.Load() }
+
+// validJobID guards the id→filename mapping, like validName for datasets.
+func validJobID(id string) error {
+	if id == "" || len(id) > 128 || strings.ContainsAny(id, "/\\\x00") ||
+		strings.HasPrefix(id, ".") || strings.Contains(id, jobExt) || strings.Contains(id, logExt) {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	return nil
+}
+
+func (s *JobStore) recordPath(id string) string { return filepath.Join(s.dir, id+jobExt) }
+func (s *JobStore) logPath(id string) string    { return filepath.Join(s.dir, id+logExt) }
+
+// SaveRecord persists the record, atomically replacing any previous one
+// (temp file + fsync + rename, exactly like dataset snapshots).
+func (s *JobStore) SaveRecord(rec JobRecord) error {
+	if err := validJobID(rec.ID); err != nil {
+		return err
+	}
+	if err := faultinject.Hit(faultinject.JobRecordWrite); err != nil {
+		return fmt.Errorf("store: saving job record %q: %w", rec.ID, err)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: saving job record %q: %w", rec.ID, err)
+	}
+	buf := make([]byte, 0, len(recordMagic)+12+len(payload))
+	buf = append(buf, recordMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, jobCRC))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+
+	tmp, err := os.CreateTemp(s.dir, rec.ID+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: saving job record %q: %w", rec.ID, err)
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: saving job record %q: %w", rec.ID, err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), s.recordPath(rec.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: saving job record %q: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// loadRecord decodes one record file. Checksum or structure failure wraps
+// ErrJobCorrupt.
+func (s *JobStore) loadRecord(path string) (JobRecord, error) {
+	var rec JobRecord
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rec, fmt.Errorf("store: %w", err)
+	}
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("store: %s: %w: %s", filepath.Base(path), ErrJobCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(raw) < len(recordMagic)+12 {
+		return rec, corrupt("truncated header (%d bytes)", len(raw))
+	}
+	if string(raw[:len(recordMagic)]) != recordMagic {
+		return rec, corrupt("bad magic %q", raw[:len(recordMagic)])
+	}
+	sum := binary.LittleEndian.Uint32(raw[len(recordMagic):])
+	n := binary.LittleEndian.Uint64(raw[len(recordMagic)+4:])
+	payload := raw[len(recordMagic)+12:]
+	if uint64(len(payload)) != n {
+		return rec, corrupt("payload length %d, header says %d", len(payload), n)
+	}
+	if crc32.Checksum(payload, jobCRC) != sum {
+		return rec, corrupt("checksum mismatch")
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, corrupt("decoding payload: %v", err)
+	}
+	return rec, nil
+}
+
+// AppendResult appends one checkpointed frontier row to the job's result
+// log and fsyncs it, creating the log (with its magic header) on first
+// use. It returns the bytes written to disk. A crash mid-append leaves a
+// torn tail that readResultLog truncates on the next boot, so the log
+// never replays a partially-written frame.
+func (s *JobStore) AppendResult(id string, frame []byte) (int64, error) {
+	if err := validJobID(id); err != nil {
+		return 0, err
+	}
+	if err := faultinject.Hit(faultinject.JobCheckpoint); err != nil {
+		return 0, fmt.Errorf("store: checkpointing job %q: %w", id, err)
+	}
+	f, err := os.OpenFile(s.logPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: checkpointing job %q: %w", id, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("store: checkpointing job %q: %w", id, err)
+	}
+	buf := make([]byte, 0, len(logMagic)+logFrameOverhead+len(frame))
+	if st.Size() == 0 {
+		buf = append(buf, logMagic...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(frame)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(frame, jobCRC))
+	buf = append(buf, frame...)
+	if _, err := f.Write(buf); err != nil {
+		return 0, fmt.Errorf("store: checkpointing job %q: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("store: checkpointing job %q: %w", id, err)
+	}
+	return int64(len(buf)), nil
+}
+
+// readResultLog replays the job's checkpointed frames. A missing log is an
+// empty one. A torn or checksum-failing tail is truncated away (with a log
+// line) so later appends continue from the last good frame; a log whose
+// magic header is wrong is quarantined wholesale and replays as empty.
+func (s *JobStore) readResultLog(id string) (frames [][]byte, size int64, err error) {
+	path := s.logPath(id)
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: reading result log %q: %w", id, err)
+	}
+	if len(raw) < len(logMagic) || string(raw[:len(logMagic)]) != logMagic {
+		s.quarantine(path, fmt.Errorf("%w: bad result-log header", ErrJobCorrupt))
+		return nil, 0, nil
+	}
+	good := int64(len(logMagic))
+	rest := raw[len(logMagic):]
+	for len(rest) > 0 {
+		if len(rest) < logFrameOverhead {
+			break // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxLogFrame || len(rest) < logFrameOverhead+int(n) {
+			break // implausible length or torn payload
+		}
+		payload := rest[logFrameOverhead : logFrameOverhead+int(n)]
+		if crc32.Checksum(payload, jobCRC) != sum {
+			break // corrupt payload; everything after it is unframeable
+		}
+		frames = append(frames, bytes.Clone(payload))
+		good += int64(logFrameOverhead + int(n))
+		rest = rest[logFrameOverhead+int(n):]
+	}
+	if good < int64(len(raw)) {
+		s.log.Warn("store: truncating torn result-log tail",
+			"file", path, "good_bytes", good, "total_bytes", len(raw), "frames", len(frames))
+		if err := os.Truncate(path, good); err != nil {
+			return nil, 0, fmt.Errorf("store: truncating result log %q: %w", id, err)
+		}
+	}
+	return frames, good, nil
+}
+
+// DeleteJob removes the job's record and result log (idempotent).
+func (s *JobStore) DeleteJob(id string) error {
+	if err := validJobID(id); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, p := range []string{s.recordPath(id), s.logPath(id)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) && firstErr == nil {
+			firstErr = fmt.Errorf("store: deleting job %q: %w", id, err)
+		}
+	}
+	return firstErr
+}
+
+// RecoveredJob is one persisted job rehydrated at boot: its record plus
+// every frame that survived in its result log.
+type RecoveredJob struct {
+	Record JobRecord
+	Frames [][]byte
+	// LogBytes is the result log's on-disk size after tail truncation.
+	LogBytes int64
+}
+
+// LoadAll rehydrates every persisted job in sorted id order. Corrupt
+// records are quarantined, unreadable ones skipped with a log line;
+// neither aborts the load — the error return covers only directory-level
+// I/O failure. An orphaned result log (no record) is left in place: its
+// record may reappear, and DeleteJob clears both.
+func (s *JobStore) LoadAll() ([]RecoveredJob, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if id, ok := strings.CutSuffix(e.Name(), jobExt); ok && !e.IsDir() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	out := make([]RecoveredJob, 0, len(ids))
+	for _, id := range ids {
+		path := s.recordPath(id)
+		if err := faultinject.Hit(faultinject.JobResumeLoad); err != nil {
+			s.log.Error("store: skipping unreadable job record", "file", path, "err", err)
+			continue
+		}
+		rec, err := s.loadRecord(path)
+		if err != nil {
+			if errors.Is(err, ErrJobCorrupt) {
+				s.quarantine(path, err)
+			} else {
+				s.log.Error("store: skipping unreadable job record", "file", path, "err", err)
+			}
+			continue
+		}
+		if rec.ID != id {
+			// A record renamed to another job's name would resume the wrong
+			// sweep; treat the mismatch as corruption.
+			s.quarantine(path, fmt.Errorf("%w: record id %q under file %q", ErrJobCorrupt, rec.ID, id))
+			continue
+		}
+		frames, size, err := s.readResultLog(id)
+		if err != nil {
+			s.log.Error("store: skipping job with unreadable result log", "id", id, "err", err)
+			continue
+		}
+		out = append(out, RecoveredJob{Record: rec, Frames: frames, LogBytes: size})
+	}
+	return out, nil
+}
+
+// quarantine moves a corrupt job file aside (shared spelling with the
+// dataset store's quarantine, counted separately).
+func (s *JobStore) quarantine(path string, cause error) {
+	s.quarantined.Add(1)
+	qpath := path + corruptExt
+	if err := os.Rename(path, qpath); err != nil {
+		s.log.Error("store: quarantining corrupt job file failed",
+			"file", path, "cause", cause, "err", err)
+		return
+	}
+	s.log.Error("store: quarantined corrupt job file",
+		"file", path, "quarantined_as", qpath, "err", cause)
+}
+
+// ResultLogSize reports the job's current result-log size in bytes (0 if
+// absent), for eviction accounting.
+func (s *JobStore) ResultLogSize(id string) int64 {
+	st, err := os.Stat(s.logPath(id))
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}

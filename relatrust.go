@@ -316,6 +316,15 @@ func (r *Repairer) Frontier(ctx context.Context) iter.Seq2[*Repair, error] {
 }
 
 // FrontierRange restricts Frontier to τ ∈ [tauLow, tauHigh].
+//
+// Because each yielded point is final the moment it is yielded (no
+// later goal can supersede it), FrontierRange is also the resume
+// primitive: after consuming a frontier's points up to some repair r,
+// FrontierRange(ctx, tauLow, r.DeltaP-1) yields exactly the remaining
+// points of that frontier, in order. The durable job tier
+// (internal/jobs) depends on this contract to make a crash-resumed
+// sweep's stream byte-identical to an uninterrupted one; a last point
+// with DeltaP-1 below tauLow means the frontier was already complete.
 func (r *Repairer) FrontierRange(ctx context.Context, tauLow, tauHigh int) iter.Seq2[*Repair, error] {
 	return r.frontier(ctx, tauLow, tauHigh)
 }

@@ -1,0 +1,78 @@
+package relatrust_test
+
+// Pins the resume contract the durable job tier (internal/jobs,
+// internal/server) builds on: for any prefix of an uninterrupted frontier,
+// re-running FrontierRange with tauHigh = prefix[last].DeltaP − 1 yields
+// exactly the remaining points of that frontier. This is what makes a
+// crash-resumed sweep's concatenated stream identical to an uninterrupted
+// one — every split point is exercised, on both the CSV fixture and a
+// generated census workload.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"relatrust"
+
+	"relatrust/internal/experiments"
+	"relatrust/internal/gen"
+)
+
+func TestFrontierRangeResumesAnyPrefix(t *testing.T) {
+	type fixture struct {
+		name  string
+		in    *relatrust.Instance
+		sigma relatrust.FDSet
+	}
+	var fixtures []fixture
+
+	in, sigma := loadMulti(t)
+	fixtures = append(fixtures, fixture{"csv", in, sigma})
+
+	spec := gen.SubSpec(gen.CensusSpec(), 10)
+	w, err := experiments.MakeWorkload(spec, gen.TwoFDs(spec), 300, 0.34, 0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures = append(fixtures, fixture{"census", w.Dirty, w.SigmaD})
+
+	for _, f := range fixtures {
+		t.Run(f.name, func(t *testing.T) {
+			rp, err := relatrust.NewRepairer(f.in, f.sigma, relatrust.Options{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := collect(t, rp)
+			if len(full) < 2 {
+				t.Fatalf("fixture frontier has %d points; the split test needs ≥ 2", len(full))
+			}
+			for k := 0; k < len(full); k++ {
+				t.Run(fmt.Sprintf("split=%d", k), func(t *testing.T) {
+					// A sweep interrupted after emitting full[:k+1] resumes
+					// over [0, full[k].DeltaP-1]; a last point already at
+					// δP = 0 means the frontier was complete.
+					hi := full[k].DeltaP - 1
+					var rest []*relatrust.Repair
+					if hi >= 0 {
+						for r, err := range rp.FrontierRange(context.Background(), 0, hi) {
+							if err != nil {
+								t.Fatal(err)
+							}
+							rest = append(rest, r)
+						}
+					}
+					if len(rest) != len(full)-(k+1) {
+						t.Fatalf("resume after point %d yielded %d repairs, want %d",
+							k, len(rest), len(full)-(k+1))
+					}
+					for i, r := range rest {
+						if !equalRepair(r, full[k+1+i]) {
+							t.Errorf("resumed point %d diverges from uninterrupted point %d", i, k+1+i)
+						}
+					}
+				})
+			}
+		})
+	}
+}
