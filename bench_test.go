@@ -13,6 +13,7 @@ package relatrust_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"testing"
@@ -282,6 +283,123 @@ func BenchmarkFDSearch(b *testing.B) {
 				if !c.noCache {
 					b.ReportMetric(100*st.HitRate(), "cache-hit-%")
 				}
+			}
+		})
+	}
+}
+
+// benchBlockWorkload builds an n-row instance whose Blk,A->B violations
+// stay inside 4-row blocks, so the conflict graph decomposes into ~n/4
+// small components — the shape the component decomposition is built for
+// (the census workload's FDs connect everything into one component).
+func benchBlockWorkload(b *testing.B, n int) (*relatrust.Instance, fd.Set) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	in := relation.NewInstance(relation.MustSchema("Blk", "A", "B", "C", "D", "E", "F"))
+	for t := 0; t < n; t++ {
+		err := in.AppendConsts(
+			fmt.Sprintf("b%d", t/4),
+			fmt.Sprintf("v%d", rng.Intn(2)),
+			fmt.Sprintf("v%d", rng.Intn(2)),
+			fmt.Sprintf("v%d", rng.Intn(3)),
+			fmt.Sprintf("v%d", rng.Intn(3)),
+			fmt.Sprintf("v%d", rng.Intn(3)),
+			fmt.Sprintf("v%d", rng.Intn(3)),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return in, fd.Set{fd.MustNew(relation.NewAttrSet(0, 1), 2)}
+}
+
+// BenchmarkComponentSweep measures a complete A* search at n=100k with
+// the conflict-hypergraph decomposition on versus off, Workers fixed at 4,
+// on two workload shapes: the census workload (whose FDs connect all
+// tuples into one component — the decomposition's worst case, where only
+// the relevant-attribute memo helps) and a blocked workload that splits
+// into tens of thousands of small components (its best case). Results are
+// bit-identical either way — the decomposition only changes how each
+// per-state cover query is evaluated (per-component deltas against
+// memoized projections instead of one monolithic two-pass scan) — so the
+// comparison isolates the cover-query work the decomposition removes.
+func BenchmarkComponentSweep(b *testing.B) {
+	cin, csigma := benchWorkload(b, 100000)
+	bin, bsigma := benchBlockWorkload(b, 100000)
+	workloads := []struct {
+		name  string
+		in    *relatrust.Instance
+		sigma fd.Set
+	}{{"census", cin, csigma}, {"blocked", bin, bsigma}}
+	for _, w := range workloads {
+		for _, decomp := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/decomp=%v", w.name, decomp), func(b *testing.B) {
+				opt := search.DefaultOptions()
+				opt.Workers = 4
+				opt.NoDecomposition = !decomp
+				s := search.NewSearcher(conflict.New(w.in, w.sigma), weights.NewDistinctCount(w.in), opt)
+				dp := s.DeltaPOriginal()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// The census search is a single-τ Find (a full-spectrum
+					// sweep there takes minutes); the blocked workload's
+					// frontier is cheap enough to sweep end to end.
+					var err error
+					if w.name == "census" {
+						_, err = s.Find(context.Background(), dp/10)
+					} else {
+						_, err = s.FindRange(context.Background(), 0, dp)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := s.CoverCacheStats()
+				b.ReportMetric(float64(st.RefineSteps)/float64(b.N), "refine-steps/op")
+				if decomp {
+					cs := s.ComponentStats()
+					b.ReportMetric(float64(cs.Components), "components")
+					b.ReportMetric(float64(cs.LargestComponent), "largest-component-tuples")
+					b.ReportMetric(float64(cs.ParallelEvals)/float64(b.N), "parallel-evals/op")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkComponentSweepXL runs the decomposed search on the blocked
+// workload at n=1,000,000 — a scale at which the monolithic per-state
+// cover query (a two-pass scan over every violation cluster) makes the
+// sweep impractical on the benchmark box. Gated behind
+// RELATRUST_BENCH_XL=1; the point of the benchmark is that the decomposed
+// sweep *completes*, and its headline numbers are recorded in
+// BENCH_components.json.
+func BenchmarkComponentSweepXL(b *testing.B) {
+	if os.Getenv("RELATRUST_BENCH_XL") == "" {
+		b.Skip("set RELATRUST_BENCH_XL=1 to run the 1M-tuple sweep")
+	}
+	in, sigma := benchBlockWorkload(b, 1000000)
+	for _, decomp := range []bool{false, true} {
+		b.Run(fmt.Sprintf("decomp=%v", decomp), func(b *testing.B) {
+			opt := search.DefaultOptions()
+			opt.Workers = 4
+			opt.NoDecomposition = !decomp
+			s := search.NewSearcher(conflict.New(in, sigma), weights.NewDistinctCount(in), opt)
+			dp := s.DeltaPOriginal()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.FindRange(context.Background(), 0, dp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := s.CoverCacheStats()
+			b.ReportMetric(float64(st.RefineSteps)/float64(b.N), "refine-steps/op")
+			if decomp {
+				cs := s.ComponentStats()
+				b.ReportMetric(float64(cs.Components), "components")
+				b.ReportMetric(float64(cs.LargestComponent), "largest-component-tuples")
 			}
 		})
 	}

@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		bestFirst = fs.Bool("best-first", false, "use best-first search instead of A*")
 		workers   = fs.Int("workers", 0, "parallel evaluation workers for the FD search (0 = GOMAXPROCS, 1 = sequential)")
 		noCache   = fs.Bool("no-cover-cache", false, "disable the parallel search engine's per-worker partition cache (results are identical either way)")
+		noDecomp  = fs.Bool("no-decomposition", false, "disable conflict-hypergraph decomposition: run every cover query monolithically (results are identical either way)")
 		seed      = fs.Int64("seed", 1, "seed for the randomized data-repair order")
 		outPath   = fs.String("o", "", "write the repaired data of the last printed repair to this CSV file")
 		showData  = fs.Bool("show-cells", false, "list every changed cell per repair")
@@ -75,6 +76,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		bestFirst: *bestFirst,
 		workers:   *workers,
 		noCache:   *noCache,
+		noDecomp:  *noDecomp,
 		seed:      *seed,
 		outPath:   *outPath,
 		showData:  *showData,
@@ -93,7 +95,7 @@ type cliConfig struct {
 	dataPath, fdSpec, weighting, outPath string
 	tau, workers, maxShown               int
 	seed                                 int64
-	bestFirst, noCache                   bool
+	bestFirst, noCache, noDecomp         bool
 	showData, progress                   bool
 }
 
@@ -128,6 +130,7 @@ func repairMain(ctx context.Context, cli cliConfig, stdout, stderr io.Writer) er
 		Seed:             cli.seed,
 		Workers:          cli.workers,
 		NoPartitionCache: cli.noCache,
+		NoDecomposition:  cli.noDecomp,
 	}
 	if cli.progress {
 		opt.Progress = progressReporter(stderr)
@@ -214,8 +217,8 @@ func progressReporter(w io.Writer) func(relatrust.ProgressEvent) {
 		case relatrust.ProgressTauStarted:
 			fmt.Fprintf(w, "progress: continuing under τ=%d\n", ev.Tau)
 		case relatrust.ProgressSweepFinished:
-			fmt.Fprintf(w, "progress: sweep finished (%d states visited, cover-cache hit rate %.0f%%)\n",
-				ev.Visited, 100*ev.CacheHitRate)
+			fmt.Fprintf(w, "progress: sweep finished (%d states visited, cover-cache hit rate %.0f%%, %d conflict components, largest %d tuples)\n",
+				ev.Visited, 100*ev.CacheHitRate, ev.Components, ev.LargestComponent)
 		}
 	}
 }

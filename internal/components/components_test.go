@@ -1,0 +1,207 @@
+package components
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+	"relatrust/internal/testkit"
+)
+
+// shapes returns the three conflict-graph shapes of the oracle matrix:
+// one giant component (tiny domains collide everywhere), many small
+// components (a block-id attribute in every LHS keeps clusters inside
+// their block), and singleton-only (unique tuples, no violations).
+func shapes(rng *rand.Rand) []struct {
+	name  string
+	in    *relation.Instance
+	sigma fd.Set
+} {
+	connected := testkit.RandomInstance(rng, 60, 4, 2)
+	connectedFDs := testkit.RandomFDs(rng, 4, 2, 2)
+
+	blocks := relation.NewInstance(relation.MustSchema("Blk", "A", "B", "C"))
+	for t := 0; t < 80; t++ {
+		err := blocks.AppendConsts(
+			fmt.Sprintf("b%d", t/5),
+			fmt.Sprintf("v%d", rng.Intn(2)),
+			fmt.Sprintf("v%d", rng.Intn(3)),
+			fmt.Sprintf("v%d", rng.Intn(2)),
+		)
+		if err != nil {
+			panic(err)
+		}
+	}
+	blockFDs := fd.Set{
+		fd.MustNew(relation.NewAttrSet(0, 1), 2), // Blk,A -> B
+		fd.MustNew(relation.NewAttrSet(0, 3), 1), // Blk,C -> A
+	}
+
+	clean := relation.NewInstance(relation.MustSchema("A", "B", "C"))
+	for t := 0; t < 40; t++ {
+		if err := clean.AppendConsts(fmt.Sprintf("u%d", t), fmt.Sprintf("v%d", t), "c"); err != nil {
+			panic(err)
+		}
+	}
+	cleanFDs := fd.Set{fd.MustNew(relation.NewAttrSet(0), 1)}
+
+	return []struct {
+		name  string
+		in    *relation.Instance
+		sigma fd.Set
+	}{
+		{"connected", connected, connectedFDs},
+		{"many-small", blocks, blockFDs},
+		{"singleton-only", clean, cleanFDs},
+	}
+}
+
+// randExt draws a random extension vector; roughly a third of the draws
+// are nil (the base query).
+func randExt(rng *rand.Rand, sigma fd.Set, width int) []relation.AttrSet {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	ext := make([]relation.AttrSet, len(sigma))
+	for fi := range ext {
+		for a := 0; a < width; a++ {
+			if rng.Intn(width+1) == 0 {
+				ext[fi] = ext[fi].Add(a)
+			}
+		}
+	}
+	return ext
+}
+
+// TestEvaluatorMatchesMonolithic is the component-level oracle: on every
+// shape, the evaluator's CoverSize equals the monolithic Analysis.CoverSize
+// for random extension vectors, and splitting EvalDelta over arbitrary
+// chunk boundaries combines to the same answer.
+func TestEvaluatorMatchesMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, sh := range shapes(rng) {
+		t.Run(sh.name, func(t *testing.T) {
+			an := conflict.New(sh.in, sh.sigma)
+			ev := NewEvaluator(an)
+			width := sh.in.Schema.Width()
+			d := ev.Decomposition()
+			t.Logf("%s: %d components, largest %d tuples", sh.name, d.Components(), d.LargestComponent())
+			if sh.name == "many-small" && d.Components() < 4 {
+				t.Fatalf("expected many components, got %d", d.Components())
+			}
+			if sh.name == "singleton-only" && d.Components() != 0 {
+				t.Fatalf("clean instance decomposed into %d components", d.Components())
+			}
+			for trial := 0; trial < 400; trial++ {
+				ext := randExt(rng, sh.sigma, width)
+				want := an.CoverSize(ext)
+				if got := ev.CoverSize(an, ext); got != want {
+					t.Fatalf("trial %d: evaluator CoverSize = %d, monolithic = %d (ext %v)", trial, got, want, ext)
+				}
+				// Chunked deltas (the worker fan-out path) must combine to
+				// the same size regardless of the split point.
+				comps := ev.Affected(ext)
+				if len(comps) > 1 {
+					cut := 1 + rng.Intn(len(comps)-1)
+					l1, p1 := ev.EvalDelta(an, comps[:cut], ext)
+					l2, p2 := ev.EvalDelta(an, comps[cut:], ext)
+					if got := ev.Combine(l1+l2, p1+p2); got != want {
+						t.Fatalf("trial %d: chunked combine = %d, monolithic = %d", trial, got, want)
+					}
+				}
+			}
+			c := ev.Counters()
+			if c.Evals == 0 && d.Components() > 0 {
+				t.Fatalf("no component evaluations recorded")
+			}
+			if c.MemoHits == 0 && d.Components() > 0 {
+				t.Fatalf("memo never hit across repeated queries")
+			}
+		})
+	}
+}
+
+// TestComponentsPartitionClusters checks the decomposition is a partition:
+// every cluster appears in exactly one component, in global construction
+// order, and tuple counts plus the base sums are consistent.
+func TestComponentsPartitionClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, sh := range shapes(rng) {
+		t.Run(sh.name, func(t *testing.T) {
+			an := conflict.New(sh.in, sh.sigma)
+			d := Decompose(an)
+			seen := make(map[conflict.ClusterRef]bool)
+			total := 0
+			for fi := range sh.sigma {
+				total += an.NumClusters(fi)
+			}
+			for _, comp := range d.Comps {
+				if len(comp.Clusters) == 0 {
+					t.Fatalf("empty component")
+				}
+				prev := conflict.ClusterRef{FD: -1, Cluster: -1}
+				for _, ref := range comp.Clusters {
+					if seen[ref] {
+						t.Fatalf("cluster %v in two components", ref)
+					}
+					seen[ref] = true
+					if ref.FD < prev.FD || (ref.FD == prev.FD && ref.Cluster <= prev.Cluster) {
+						t.Fatalf("cluster order not global construction order: %v after %v", ref, prev)
+					}
+					prev = ref
+				}
+				if comp.Tuples < 2 {
+					t.Fatalf("component with %d tuples", comp.Tuples)
+				}
+				if comp.Relevant.IsEmpty() {
+					t.Fatalf("violating component with empty relevant set")
+				}
+			}
+			if len(seen) != total {
+				t.Fatalf("components cover %d clusters, analysis has %d", len(seen), total)
+			}
+		})
+	}
+}
+
+// TestEvaluatorConcurrent hammers one shared evaluator from several
+// goroutines, each with its own analysis fork — the session-engine usage —
+// and checks every answer against the monolithic oracle (run under -race
+// in CI).
+func TestEvaluatorConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	in := testkit.RandomInstance(rng, 120, 5, 3)
+	sigma := testkit.RandomFDs(rng, 5, 3, 2)
+	an := conflict.New(in, sigma)
+	ev := NewEvaluator(an)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			fork := an.Fork()
+			defer fork.Release()
+			for trial := 0; trial < 200; trial++ {
+				ext := randExt(rng, sigma, in.Schema.Width())
+				want := fork.CoverSize(ext)
+				if got := ev.CoverSize(fork, ext); got != want {
+					errs <- fmt.Errorf("seed %d trial %d: got %d want %d", seed, trial, got, want)
+					return
+				}
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package conflict
+
+// Component-restricted cover queries. internal/components decomposes the
+// conflict hypergraph into connected components (tuple-disjoint sets of
+// violation clusters) and evaluates the two cover passes per component;
+// this file exposes the cluster structure and the restricted passes it
+// needs. The global cover() is exactly recovered from the restricted
+// results: epoch marks never cross components (their tuple sets are
+// disjoint), so pass-1 pairs and pass-2 cover members computed per
+// component sum to the global counts, and the 2·|M| certificate fallback
+// applied to the sums reproduces the global decision. See the package doc
+// of internal/components for the full argument.
+
+import "relatrust/internal/relation"
+
+// ClusterRef names one violation cluster: cluster Cluster of FD FD, in the
+// base analysis' deterministic construction order.
+type ClusterRef struct {
+	FD, Cluster int32
+}
+
+// NumClusters returns the number of violation clusters of FD fi.
+func (a *Analysis) NumClusters(fi int) int { return len(a.clusters[fi]) }
+
+// ClusterTuples returns the tuple indices of cluster ci of FD fi. The
+// returned slice aliases the shared immutable cluster arena and must not
+// be modified.
+func (a *Analysis) ClusterTuples(fi, ci int) []int32 { return a.clusters[fi][ci] }
+
+// SubsetCover runs both passes of cover() restricted to the given clusters
+// and returns the pass-2 cover length and the pass-1 matching size. The
+// extension attributes of each cluster's FD are additionally intersected
+// with relevant before refining: callers pass the attributes on which the
+// clusters' tuples actually differ, so refining by an attribute every
+// tuple agrees on — a partition no-op — is skipped without changing any
+// group.
+//
+// For a set of clusters closed under tuple sharing (a connected component
+// of the conflict hypergraph), the results equal the component's
+// contribution to the global cover() passes bit for bit; min(coverLen,
+// 2·pairs) summed over all components is CoverSize. Callers own the usual
+// single-goroutine scratch contract.
+func (a *Analysis) SubsetCover(refs []ClusterRef, ext []relation.AttrSet, relevant relation.AttrSet) (coverLen, pairs int) {
+	a.epoch++
+	a.matchedList = a.matchedList[:0]
+	for _, r := range refs {
+		fi := int(r.FD)
+		y := a.extOf(ext, fi).Intersect(relevant)
+		pairs += a.matchCluster(fi, int(r.Cluster), a.Sigma[fi].RHS, y)
+	}
+	a.epoch++
+	a.coverScratch = a.coverScratch[:0]
+	for _, r := range refs {
+		fi := int(r.FD)
+		y := a.extOf(ext, fi).Intersect(relevant)
+		a.coverCluster(fi, int(r.Cluster), a.Sigma[fi].RHS, y, nil)
+	}
+	return len(a.coverScratch), pairs
+}

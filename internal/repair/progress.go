@@ -37,6 +37,14 @@ type ProgressEvent struct {
 	// [0, 1], meaningful on ProgressSweepFinished; 0 while only the
 	// sequential engine has run or the cache is disabled.
 	CacheHitRate float64
+	// Components and LargestComponent describe the conflict-hypergraph
+	// decomposition of the analyzed instance (component count and biggest
+	// component's tuple count); ComponentsParallel counts per-component
+	// cover evaluations dispatched across the worker pool. Meaningful on
+	// ProgressSweepFinished; zero when decomposition is disabled.
+	Components         int
+	LargestComponent   int
+	ComponentsParallel int64
 }
 
 // progress delivers an event to the configured callback, if any.

@@ -98,6 +98,11 @@ func NewSession(in *relation.Instance, sigma fd.Set, cfg Config) (*Session, erro
 		return nil, fmt.Errorf("repair: %w", err)
 	}
 	an := eng.Acquire(sigma)
+	if !cfg.Search.NoDecomposition && cfg.Search.Decomp == nil {
+		// One decomposition per engine root, shared by every session over
+		// it — repeated sweeps reuse the per-component memo.
+		cfg.Search.Decomp = eng.CoverEvaluator(sigma)
+	}
 	return &Session{
 		In:       in,
 		Sigma:    sigma,
@@ -155,10 +160,13 @@ func (s *Session) Run(ctx context.Context, tau int) (*Repair, error) {
 		}
 	}
 	final := s.Searcher.LastStats()
+	cs := s.Searcher.ComponentStats()
 	s.progress(ProgressEvent{
 		Kind: ProgressSweepFinished, Tau: tau,
 		Visited: final.Visited, Generated: final.Generated,
 		CacheHitRate: s.Searcher.CoverCacheStats().HitRate(),
+		Components:   cs.Components, LargestComponent: cs.LargestComponent,
+		ComponentsParallel: cs.ParallelEvals,
 	})
 	return r, nil
 }
@@ -218,10 +226,13 @@ func (s *Session) StreamRange(ctx context.Context, tauLow, tauHigh int, yield fu
 		return err
 	}
 	final := s.Searcher.LastStats()
+	cs := s.Searcher.ComponentStats()
 	s.progress(ProgressEvent{
 		Kind: ProgressSweepFinished, Tau: tau,
 		Visited: final.Visited, Generated: final.Generated,
 		CacheHitRate: s.Searcher.CoverCacheStats().HitRate(),
+		Components:   cs.Components, LargestComponent: cs.LargestComponent,
+		ComponentsParallel: cs.ParallelEvals,
 	})
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"relatrust/internal/components"
 	"relatrust/internal/conflict"
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
@@ -53,6 +54,21 @@ type Options struct {
 	// pure-function memo), so the knob exists for memory-constrained runs
 	// and for measuring the cache's effect.
 	NoPartitionCache bool
+	// NoDecomposition disables conflict-hypergraph decomposition: every
+	// goal-test cover query walks the whole instance monolithically, as the
+	// engine did before internal/components existed. By default the searcher
+	// decomposes the conflict graph into connected components once and
+	// answers each query from per-component responses (memoized, and fanned
+	// across the workers when enough components are affected); results are
+	// bit-identical either way, so the knob exists for measuring the
+	// decomposition's effect and as an escape hatch.
+	NoDecomposition bool
+	// Decomp supplies a pre-built component evaluator sharing this
+	// searcher's analysis root (the session engine caches one per root, so
+	// repeated sweeps skip the Decompose pass). Nil means the searcher
+	// builds its own unless NoDecomposition is set. Ignored when
+	// NoDecomposition is set.
+	Decomp *components.Evaluator
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +132,10 @@ type Searcher struct {
 	h     *heuristic
 	costs *costCache
 
+	// decomp answers goal-test cover queries component-wise; nil when
+	// Options.NoDecomposition reverts to the monolithic path.
+	decomp *components.Evaluator
+
 	// coverStats accumulates the workers' partition-cache counters across
 	// the parallel runs of this searcher (see CoverCacheStats).
 	coverStats conflict.CoverStats
@@ -154,7 +174,49 @@ func NewSearcher(an *conflict.Analysis, w weights.Func, opt Options) *Searcher {
 		width:      width,
 		matchDiffs: matchDiffs(an, opt.MatchSampleCap),
 	}
+	if !opt.NoDecomposition {
+		if opt.Decomp != nil {
+			s.decomp = opt.Decomp
+		} else {
+			s.decomp = components.NewEvaluator(an)
+		}
+	}
 	return s
+}
+
+// coverSize answers the goal-test cover query for one state: through the
+// component evaluator when decomposition is on, monolithically otherwise.
+// Bit-identical either way.
+func (s *Searcher) coverSize(st State) int {
+	if s.decomp != nil {
+		return s.decomp.CoverSize(s.An, st)
+	}
+	return s.An.CoverSize(st)
+}
+
+// ComponentStats reports the conflict-hypergraph decomposition driving the
+// goal-test cover queries: the component count and largest component of
+// the analyzed instance, and how many per-component evaluations were
+// dispatched across the worker pool so far. Zero-valued when
+// Options.NoDecomposition is set.
+type ComponentStats struct {
+	Components       int
+	LargestComponent int
+	ParallelEvals    int64
+}
+
+// ComponentStats returns the searcher's decomposition shape and the
+// cumulative cross-component fan-out effort (see ComponentStats type).
+func (s *Searcher) ComponentStats() ComponentStats {
+	if s.decomp == nil {
+		return ComponentStats{}
+	}
+	d := s.decomp.Decomposition()
+	return ComponentStats{
+		Components:       d.Components(),
+		LargestComponent: d.LargestComponent(),
+		ParallelEvals:    s.decomp.Counters().Parallel,
+	}
 }
 
 // Alpha returns α = min{|R|−1, |Σ|}, the per-tuple change bound.
@@ -364,7 +426,7 @@ func (s *Searcher) runSeq(ctx context.Context, tauLow, tauHigh int, emit func(*R
 		}
 		n := heap.Pop(pq).(*node)
 		stats.Visited++
-		coverSize := s.An.CoverSize(n.state)
+		coverSize := s.coverSize(n.state)
 		if coverSize*s.alpha <= tau {
 			stats.Duration = time.Since(start)
 			r := &Result{

@@ -1,0 +1,165 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"relatrust/internal/conflict"
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+	"relatrust/internal/testkit"
+	"relatrust/internal/weights"
+)
+
+// decompShapes builds the three conflict-graph shapes the decomposition
+// matrix runs on: everything in one component, many small components (a
+// block-id attribute in every LHS confines clusters to their block), and
+// an instance with no violations at all.
+func decompShapes(rng *rand.Rand) []struct {
+	name  string
+	in    *relation.Instance
+	sigma fd.Set
+} {
+	connected := testkit.RandomInstance(rng, 24, 4, 2)
+	connectedFDs := testkit.RandomFDs(rng, 4, 2, 2)
+
+	blocks := relation.NewInstance(relation.MustSchema("Blk", "A", "B", "C"))
+	for t := 0; t < 36; t++ {
+		err := blocks.AppendConsts(
+			fmt.Sprintf("b%d", t/4),
+			fmt.Sprintf("v%d", rng.Intn(2)),
+			fmt.Sprintf("v%d", rng.Intn(3)),
+			fmt.Sprintf("v%d", rng.Intn(2)),
+		)
+		if err != nil {
+			panic(err)
+		}
+	}
+	blockFDs := fd.Set{
+		fd.MustNew(relation.NewAttrSet(0, 1), 2),
+		fd.MustNew(relation.NewAttrSet(0, 3), 1),
+	}
+
+	clean := relation.NewInstance(relation.MustSchema("A", "B", "C"))
+	for t := 0; t < 12; t++ {
+		if err := clean.AppendConsts(fmt.Sprintf("u%d", t), fmt.Sprintf("v%d", t), "c"); err != nil {
+			panic(err)
+		}
+	}
+	cleanFDs := fd.Set{fd.MustNew(relation.NewAttrSet(0), 1)}
+
+	return []struct {
+		name  string
+		in    *relation.Instance
+		sigma fd.Set
+	}{
+		{"connected", connected, connectedFDs},
+		{"many-small", blocks, blockFDs},
+		{"singleton-only", clean, cleanFDs},
+	}
+}
+
+// TestDecompositionMatchesMonolithic is the search-layer bit-identity
+// matrix: Workers {1, 4} × decomposition {on, off} × {Find, FindRange}
+// over connected, many-small-components, and violation-free instances.
+// The monolithic sequential run is the oracle; every other cell must
+// reproduce its repairs — states, bit-identical costs, cover sizes, goal
+// order, and effort stats.
+func TestDecompositionMatchesMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, sh := range decompShapes(rng) {
+		t.Run(sh.name, func(t *testing.T) {
+			w := weights.NewDistinctCount(sh.in)
+			oracle := NewSearcher(conflict.New(sh.in, sh.sigma), w,
+				Options{Workers: 1, NoDecomposition: true})
+			dp := oracle.DeltaPOriginal()
+			oracleRange, err := oracle.FindRange(context.Background(), 0, dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, workers := range []int{1, 4} {
+				for _, noDecomp := range []bool{false, true} {
+					label := fmt.Sprintf("workers=%d decomp=%v", workers, !noDecomp)
+					s := NewSearcher(conflict.New(sh.in, sh.sigma), w,
+						Options{Workers: workers, NoDecomposition: noDecomp})
+					got, err := s.FindRange(context.Background(), 0, dp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkSameResults(t, "FindRange "+label, oracleRange, got)
+
+					for _, tau := range []int{0, dp / 2, dp} {
+						want, err := oracle.Find(context.Background(), tau)
+						if err != nil {
+							t.Fatal(err)
+						}
+						r, err := s.Find(context.Background(), tau)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if (want == nil) != (r == nil) {
+							t.Fatalf("τ=%d %s: oracle %v, candidate %v disagree on feasibility", tau, label, want, r)
+						}
+						if want != nil {
+							checkSameResults(t, "Find "+label, []*Result{want}, []*Result{r})
+						}
+					}
+
+					cs := s.ComponentStats()
+					if noDecomp && cs != (ComponentStats{}) {
+						t.Fatalf("%s: NoDecomposition searcher reports component stats %+v", label, cs)
+					}
+					if !noDecomp && sh.name != "singleton-only" && cs.Components == 0 {
+						t.Fatalf("%s: decomposed searcher reports zero components", label)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecompositionFanout forces the cross-component fan-out path (many
+// affected components, several workers) and pins both the bit-identity of
+// the results and that parallel per-component evaluations were actually
+// dispatched.
+func TestDecompositionFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	in := relation.NewInstance(relation.MustSchema("Blk", "A", "B", "C", "D"))
+	for t := 0; t < 120; t++ {
+		err := in.AppendConsts(
+			fmt.Sprintf("b%d", t/4),
+			fmt.Sprintf("v%d", rng.Intn(2)),
+			fmt.Sprintf("v%d", rng.Intn(2)),
+			fmt.Sprintf("v%d", rng.Intn(3)),
+			fmt.Sprintf("v%d", rng.Intn(3)),
+		)
+		if err != nil {
+			panic(err)
+		}
+	}
+	sigma := fd.Set{fd.MustNew(relation.NewAttrSet(0, 1), 2)}
+	w := weights.AttrCount{}
+
+	oracle := NewSearcher(conflict.New(in, sigma), w, Options{Workers: 1, NoDecomposition: true})
+	dp := oracle.DeltaPOriginal()
+	want, err := oracle.FindRange(context.Background(), 0, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSearcher(conflict.New(in, sigma), w, Options{Workers: 4})
+	if c := s.ComponentStats().Components; c < 2*coverChunkMin {
+		t.Fatalf("instance decomposed into %d components, need >= %d to exercise the fan-out", c, 2*coverChunkMin)
+	}
+	got, err := s.FindRange(context.Background(), 0, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameResults(t, "fanout", want, got)
+	if s.ComponentStats().ParallelEvals == 0 {
+		t.Fatal("no per-component evaluations were dispatched across the pool")
+	}
+}

@@ -3,7 +3,9 @@ package search
 import (
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
+	"relatrust/internal/components"
 	"relatrust/internal/conflict"
 	"relatrust/internal/relation"
 	"relatrust/internal/weights"
@@ -173,9 +175,15 @@ type coverTask struct {
 
 // startCover submits a CoverSize query for the state and returns without
 // waiting. forNode tags speculative prefetches with the predicted node so
-// the coordinator can match them against the actual next pop.
+// the coordinator can match them against the actual next pop. With
+// decomposition on, queries touching many components fan out across the
+// workers (see startCoverDecomposed); otherwise one worker answers.
 func (p *evalPool) startCover(st State, forNode *node) *coverTask {
 	t := &coverTask{forNode: forNode, ch: make(chan int, 1)}
+	if ev := p.searcher.decomp; ev != nil {
+		p.startCoverDecomposed(ev, st, t)
+		return t
+	}
 	p.tasks <- func(w *worker) {
 		// The deferred send keeps wait() from deadlocking when CoverSize
 		// panics; the coordinator sees the pool error before trusting the
@@ -185,6 +193,81 @@ func (p *evalPool) startCover(st State, forNode *node) *coverTask {
 		size = w.an.CoverSize(st)
 	}
 	return t
+}
+
+// coverChunkMin is the minimum number of affected components worth a
+// fan-out chunk; below 2× this, one worker answers the whole query.
+const coverChunkMin = 8
+
+// coverFanout gathers the per-chunk delta sums of one decomposed cover
+// query. The sums are integers, so the combined result is independent of
+// chunk completion order; the last chunk to finish — successful or not —
+// sends on the task channel, so wait() never deadlocks even when a chunk
+// panics (the coordinator checks the pool error before trusting -1).
+type coverFanout struct {
+	t       *coverTask
+	ev      *components.Evaluator
+	pending atomic.Int32
+	dLen2   atomic.Int64
+	dPairs  atomic.Int64
+	failed  atomic.Bool
+}
+
+func (f *coverFanout) finish(ok bool, dLen2, dPairs int64) {
+	if ok {
+		f.dLen2.Add(dLen2)
+		f.dPairs.Add(dPairs)
+	} else {
+		f.failed.Store(true)
+	}
+	if f.pending.Add(-1) != 0 {
+		return
+	}
+	if f.failed.Load() {
+		f.t.ch <- -1
+		return
+	}
+	f.t.ch <- f.ev.Combine(f.dLen2.Load(), f.dPairs.Load())
+}
+
+// startCoverDecomposed answers one cover query through the component
+// evaluator: enough affected components and workers → the components are
+// chunked across the pool (cross-component parallelism per pop); small
+// queries run on one worker, where the per-component memo usually answers
+// most of the work anyway.
+func (p *evalPool) startCoverDecomposed(ev *components.Evaluator, st State, t *coverTask) {
+	comps := ev.Affected(st)
+	if len(p.workers) < 2 || len(comps) < 2*coverChunkMin {
+		p.tasks <- func(w *worker) {
+			size := -1
+			defer func() { t.ch <- size }()
+			size = ev.CoverSize(w.an, st)
+		}
+		return
+	}
+	chunks := len(p.workers)
+	if max := (len(comps) + coverChunkMin - 1) / coverChunkMin; chunks > max {
+		chunks = max
+	}
+	ev.CountParallel(len(comps))
+	f := &coverFanout{t: t, ev: ev}
+	f.pending.Store(int32(chunks))
+	per := (len(comps) + chunks - 1) / chunks
+	for i := 0; i < chunks; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(comps) {
+			hi = len(comps)
+		}
+		chunk := comps[lo:hi]
+		p.tasks <- func(w *worker) {
+			ok := false
+			var dLen2, dPairs int64
+			defer func() { f.finish(ok, dLen2, dPairs) }()
+			dLen2, dPairs = ev.EvalDelta(w.an, chunk, st)
+			ok = true
+		}
+	}
 }
 
 // wait blocks until the query finishes and returns the cover size.

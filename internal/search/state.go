@@ -29,6 +29,23 @@
 // speculative work invalidated by a goal. Find, FindRange, goal order,
 // costs, cover sizes, and effort stats all match Workers: 1 exactly.
 //
+// # Component-decomposed cover queries
+//
+// Unless Options.NoDecomposition is set, the per-state goal-test cover
+// query is evaluated through a components.Evaluator (see
+// internal/components): the conflict hypergraph is split into connected
+// components once per analysis, each query computes per-component cover
+// deltas — memoized by the extension's projection onto the component's
+// relevant attributes — and the global answer is merged as
+// min(Σ len2_c, 2·Σ pairs_c), which equals the monolithic two-pass
+// result exactly (cluster epochs never cross components). Queries that
+// touch many components are chunked across the worker pool; the merge
+// sums integers, so it is order-independent and the determinism
+// guarantee above extends across the decomposition knob: frontiers are
+// bit-identical with decomposition on or off, at every worker count.
+// Options.Decomp lets a session engine share one evaluator (its memo
+// warms across sweeps) between searchers over the same root analysis.
+//
 // # Cancellation and errors
 //
 // Every search entry point takes a context.Context, checked once per

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRepairStreamDecompositionByteIdentical pins the decomposition at the
+// wire: the NDJSON frontier stream of a decomposed sweep is byte-identical
+// to a no_decomposition sweep of the same request, and the subsequent
+// /statz and /metrics expose the component counters of the last finished
+// (decomposed) sweep.
+func TestRepairStreamDecompositionByteIdentical(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	registerCities(t, ts.URL)
+
+	sweep := func(noDecomp bool) string {
+		resp := postJSON(t, ts.URL+"/v1/repair", RepairRequest{
+			Dataset:         "cities",
+			FDs:             multiFDs,
+			Workers:         4,
+			NoDecomposition: noDecomp,
+			IncludeChanges:  true,
+		})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("repair: status %d, body %s", resp.StatusCode, b)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	monolithic := sweep(true)
+	decomposed := sweep(false)
+	if monolithic != decomposed {
+		t.Fatalf("decomposed stream differs from monolithic stream:\ndecomposed:\n%s\nmonolithic:\n%s", decomposed, monolithic)
+	}
+	if !strings.Contains(decomposed, "\n") {
+		t.Fatal("stream carried no frames")
+	}
+
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statz Statz
+	decodeBody(t, resp, &statz)
+	if len(statz.Datasets) != 1 {
+		t.Fatalf("statz datasets = %d, want 1", len(statz.Datasets))
+	}
+	d := statz.Datasets[0]
+	if d.Components <= 0 || d.LargestComponent <= 0 {
+		t.Fatalf("statz after decomposed sweep: components=%d largest_component=%d, want both > 0",
+			d.Components, d.LargestComponent)
+	}
+	// The raw JSON keys are part of the wire format.
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"components"`, `"largest_component"`, `"components_parallel"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("dataset statz JSON misses %s: %s", key, raw)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"relatrust_conflict_components",
+		"relatrust_conflict_largest_component_tuples",
+		"relatrust_component_parallel_evals_total",
+	} {
+		if !strings.Contains(string(metrics), name+`{dataset="cities"}`) {
+			t.Fatalf("/metrics misses %s for the dataset:\n%s", name, metrics)
+		}
+	}
+}

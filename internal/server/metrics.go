@@ -56,6 +56,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"relatrust_sweeps_shed_total", "Sweeps shed with 429 under load.", func(d DatasetStatz) float64 { return float64(d.SweepsShed) }},
 		{"relatrust_rows_streamed_total", "Frontier rows streamed to clients.", func(d DatasetStatz) float64 { return float64(d.RowsStreamed) }},
 		{"relatrust_partition_cache_hit_rate", "Partition-cache hit rate of the last finished sweep.", func(d DatasetStatz) float64 { return d.PartitionCacheHitRate }},
+		{"relatrust_conflict_components", "Conflict-hypergraph components of the last finished sweep.", func(d DatasetStatz) float64 { return float64(d.Components) }},
+		{"relatrust_conflict_largest_component_tuples", "Tuples in the largest conflict component of the last finished sweep.", func(d DatasetStatz) float64 { return float64(d.LargestComponent) }},
+		{"relatrust_component_parallel_evals_total", "Per-component cover evaluations dispatched across the worker pool by the last finished sweep.", func(d DatasetStatz) float64 { return float64(d.ComponentsParallel) }},
 		{"relatrust_session_acquires_total", "Analyses handed out by the shared session.", func(d DatasetStatz) float64 { return float64(d.SessionAcquires) }},
 		{"relatrust_session_builds_total", "Analyses built from scratch by the shared session.", func(d DatasetStatz) float64 { return float64(d.SessionBuilds) }},
 	}

@@ -42,13 +42,14 @@ type RepairRequest struct {
 	// Weights selects the FD-modification weighting: attr-count,
 	// distinct-count (default), entropy, or mdl.
 	Weights string `json:"weights,omitempty"`
-	// BestFirst, Workers, Seed, MaxVisited, NoPartitionCache mirror
-	// relatrust.Options.
+	// BestFirst, Workers, Seed, MaxVisited, NoPartitionCache,
+	// NoDecomposition mirror relatrust.Options.
 	BestFirst        bool  `json:"best_first,omitempty"`
 	Workers          int   `json:"workers,omitempty"`
 	Seed             int64 `json:"seed,omitempty"`
 	MaxVisited       int   `json:"max_visited,omitempty"`
 	NoPartitionCache bool  `json:"no_partition_cache,omitempty"`
+	NoDecomposition  bool  `json:"no_decomposition,omitempty"`
 
 	// TimeoutMS imposes a server-side deadline on the sweep; exceeding it
 	// reports deadline_exceeded. 0 means no deadline beyond the client's.
@@ -156,6 +157,7 @@ func (s *Server) options(d *dataset, req RepairRequest) (relatrust.Options, erro
 		MaxVisited:       req.MaxVisited,
 		Workers:          req.Workers,
 		NoPartitionCache: req.NoPartitionCache,
+		NoDecomposition:  req.NoDecomposition,
 		Session:          s.sessionFor(d),
 	}
 	if opt.Workers == 0 {
@@ -173,6 +175,9 @@ func (s *Server) options(d *dataset, req RepairRequest) (relatrust.Options, erro
 		if ev.Kind == relatrust.ProgressSweepFinished {
 			d.mu.Lock()
 			d.lastHitRate = ev.CacheHitRate
+			d.lastComponents = ev.Components
+			d.lastLargestComponent = ev.LargestComponent
+			d.lastComponentsParallel = ev.ComponentsParallel
 			d.mu.Unlock()
 		}
 		if observe != nil {

@@ -219,6 +219,11 @@ type dataset struct {
 	sweepsShed      int64
 	rowsStreamed    int64
 	lastHitRate     float64
+	// last* component fields describe the conflict-hypergraph
+	// decomposition reported by the most recently finished sweep.
+	lastComponents         int
+	lastLargestComponent   int
+	lastComponentsParallel int64
 }
 
 // New returns a Server with an empty registry. With Options.Store set,
@@ -686,6 +691,15 @@ type DatasetStatz struct {
 	// PartitionCacheHitRate is the hit rate reported by the most recently
 	// finished sweep (0 until one finishes).
 	PartitionCacheHitRate float64 `json:"partition_cache_hit_rate"`
+	// Components and LargestComponent describe the conflict-hypergraph
+	// decomposition of the most recently finished sweep (component count
+	// and biggest component's tuple count); ComponentsParallel counts
+	// its per-component cover evaluations dispatched across the worker
+	// pool. All zero until a sweep finishes or when decomposition was
+	// disabled.
+	Components         int   `json:"components"`
+	LargestComponent   int   `json:"largest_component"`
+	ComponentsParallel int64 `json:"components_parallel"`
 	// SessionAcquires/SessionBuilds are the shared session's counters:
 	// analyses handed out vs built from scratch. A hot dataset shows
 	// acquires far above builds.
@@ -791,6 +805,9 @@ func (d *dataset) statz() DatasetStatz {
 		SweepsShed:            d.sweepsShed,
 		RowsStreamed:          d.rowsStreamed,
 		PartitionCacheHitRate: d.lastHitRate,
+		Components:            d.lastComponents,
+		LargestComponent:      d.lastLargestComponent,
+		ComponentsParallel:    d.lastComponentsParallel,
 	}
 	d.mu.Unlock()
 	// A cold dataset (no sweep yet, or its session was evicted) reports

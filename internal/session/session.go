@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sync"
 
+	"relatrust/internal/components"
 	"relatrust/internal/conflict"
 	"relatrust/internal/fd"
 	"relatrust/internal/relation"
@@ -63,6 +64,11 @@ type rootEntry struct {
 	sigma     fd.Set
 	filterKey string
 	root      *conflict.Analysis
+	// decomp is the root's conflict-hypergraph component evaluator, built
+	// on first request (see CoverEvaluator) and shared by every searcher
+	// over this root — so repeated sweeps skip the Decompose pass and
+	// share one per-component memo.
+	decomp *components.Evaluator
 }
 
 // New returns an engine over the instance.
@@ -137,6 +143,34 @@ func (e *Engine) acquire(sigma fd.Set, filterKey string, build func() *conflict.
 	}
 	e.mu.Unlock()
 	return root.Fork()
+}
+
+// CoverEvaluator returns the component evaluator of the unfiltered root
+// for sigma, building the root and the decomposition on first use. The
+// evaluator is shared: it is safe for any number of concurrent searchers,
+// each running queries against its own acquired fork of the same root.
+// Building under the engine mutex mirrors Acquire — concurrent requesters
+// of the same set wait for the first decomposition, then share it.
+func (e *Engine) CoverEvaluator(sigma fd.Set) *components.Evaluator {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.roots {
+		r := &e.roots[i]
+		if r.filterKey == "" && r.sigma.Equal(sigma) {
+			if r.decomp == nil {
+				r.decomp = components.NewEvaluator(r.root)
+			}
+			return r.decomp
+		}
+	}
+	e.builds++
+	root := conflict.New(e.In, sigma)
+	e.roots = append(e.roots, rootEntry{
+		sigma:  sigma.Clone(),
+		root:   root,
+		decomp: components.NewEvaluator(root),
+	})
+	return e.roots[len(e.roots)-1].decomp
 }
 
 // Release returns an acquired analysis to its root's pool for reuse by a

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "errors"
+
+// mmapSnapshotImpl declines on platforms without a unix mmap; loads fall
+// back to the buffered path.
+func mmapSnapshotImpl(string) ([]byte, func(), error) {
+	return nil, nil, errors.New("store: mmap unsupported on this platform")
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relatrust/internal/relation"
+)
+
+// openMmapTest returns a store with the mmap fast path enabled.
+func openMmapTest(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Options{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMmapLoadRoundtrip pins the fast path end to end: a snapshot saved
+// normally loads identically through the mapping, code columns included.
+func TestMmapLoadRoundtrip(t *testing.T) {
+	s := openMmapTest(t)
+	in := fixture(t)
+	if err := s.Save("cities", in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Load("cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != in.N() {
+		t.Fatalf("loaded %d tuples, want %d", out.N(), in.N())
+	}
+	for i := range in.Tuples {
+		if !out.Tuples[i].Equal(in.Tuples[i]) {
+			t.Errorf("tuple %d = %v, want %v", i, out.Tuples[i], in.Tuples[i])
+		}
+	}
+	for a := 0; a < in.Schema.Width(); a++ {
+		wantCodes, wantDistinct := in.Codes(a)
+		gotCodes, gotDistinct := out.Codes(a)
+		if wantDistinct != gotDistinct {
+			t.Fatalf("attr %d: %d distinct codes, want %d", a, gotDistinct, wantDistinct)
+		}
+		for i := range wantCodes {
+			if wantCodes[i] != gotCodes[i] {
+				t.Fatalf("attr %d tuple %d: code %d, want %d", a, i, gotCodes[i], wantCodes[i])
+			}
+		}
+	}
+	if st := s.Stats(); st.Loads != 1 {
+		t.Errorf("loads = %d, want 1", st.Loads)
+	}
+}
+
+// TestMmapFallbackOnError forces every mmap attempt to fail and checks the
+// load silently falls back to the buffered path — same instance, same
+// stats — and that genuine corruption still reports through the buffered
+// path's error (so quarantine decisions are unaffected by the flag).
+func TestMmapFallbackOnError(t *testing.T) {
+	prev := mmapSnapshot
+	mmapSnapshot = func(string) ([]byte, func(), error) {
+		return nil, nil, errors.New("forced mmap failure")
+	}
+	defer func() { mmapSnapshot = prev }()
+
+	s := openMmapTest(t)
+	in := fixture(t)
+	if err := s.Save("cities", in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Load("cities")
+	if err != nil {
+		t.Fatalf("load with failing mmap: %v", err)
+	}
+	if out.N() != in.N() {
+		t.Fatalf("fallback loaded %d tuples, want %d", out.N(), in.N())
+	}
+	if st := s.Stats(); st.Loads != 1 {
+		t.Errorf("loads = %d, want 1", st.Loads)
+	}
+}
+
+// TestMmapCorruptSnapshot checks a damaged file errors with the usual
+// ErrSnapshotCorrupt through the mmap-enabled store, not with some
+// mapping-layer error.
+func TestMmapCorruptSnapshot(t *testing.T) {
+	s := openMmapTest(t)
+	in := fixture(t)
+	if err := s.Save("cities", in); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), "cities"+snapExt)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("cities"); !errors.Is(err, relation.ErrSnapshotCorrupt) {
+		t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestReadSnapshotBytesMatchesReader cross-checks the in-memory decoder
+// against the io.Reader one on valid and malformed documents.
+func TestReadSnapshotBytesMatchesReader(t *testing.T) {
+	s := openMmapTest(t)
+	in := fixture(t)
+	if err := s.Save("cities", in); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(s.Dir(), "cities"+snapExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := relation.ReadSnapshotBytes(raw); err != nil {
+		t.Fatalf("valid document: %v", err)
+	}
+	bad := [][]byte{
+		nil,
+		raw[:10],                           // short header
+		raw[:len(raw)-1],                   // truncated payload
+		append(raw[:len(raw):len(raw)], 0), // trailing byte
+	}
+	for i, b := range bad {
+		if _, err := relation.ReadSnapshotBytes(b); !errors.Is(err, relation.ErrSnapshotCorrupt) {
+			t.Errorf("case %d: err = %v, want ErrSnapshotCorrupt", i, err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapSnapshotImpl maps path read-only. Errors here are never surfaced to
+// Load callers — they only send the load down the buffered path — so a
+// zero-length or oversized file simply declines the mapping.
+func mmapSnapshotImpl(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("store: file size %d not mappable", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() { _ = syscall.Munmap(b) }, nil
+}

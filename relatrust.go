@@ -215,6 +215,12 @@ type Options struct {
 	// partition cache. Results are identical either way; the knob exists
 	// for memory-constrained runs and measurements.
 	NoPartitionCache bool
+	// NoDecomposition disables conflict-hypergraph decomposition: cover
+	// queries run monolithically over the whole instance instead of
+	// per connected component with memoized, worker-parallel responses.
+	// The frontier is bit-identical either way; the knob exists for
+	// measuring the decomposition's effect and as an escape hatch.
+	NoDecomposition bool
 	// Progress, when non-nil, observes frontier sweeps: τ levels starting
 	// and finishing, states visited, and the partition-cache hit rate.
 	// Callbacks run synchronously on the sweeping goroutine and must be
@@ -234,6 +240,7 @@ func (o Options) config(in *Instance) repair.Config {
 			MaxVisited:       o.MaxVisited,
 			Workers:          o.Workers,
 			NoPartitionCache: o.NoPartitionCache,
+			NoDecomposition:  o.NoDecomposition,
 		},
 		Seed:     o.Seed,
 		Engine:   o.engine(),
