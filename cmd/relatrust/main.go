@@ -209,9 +209,15 @@ func repairMain(ctx context.Context, cli cliConfig, stdout, stderr io.Writer) er
 // progressReporter renders Options.Progress events on w.
 func progressReporter(w io.Writer) func(relatrust.ProgressEvent) {
 	return func(ev relatrust.ProgressEvent) {
+		// Sweeps over a live dataset answer for one pinned mutation
+		// generation; name it so interleaved logs stay attributable.
+		gen := ""
+		if ev.Generation != 0 {
+			gen = fmt.Sprintf(" [gen %d]", ev.Generation)
+		}
 		switch ev.Kind {
 		case relatrust.ProgressSweepStarted:
-			fmt.Fprintf(w, "progress: sweep started, τ=%d\n", ev.Tau)
+			fmt.Fprintf(w, "progress: sweep started, τ=%d%s\n", ev.Tau, gen)
 		case relatrust.ProgressTauFinished:
 			fmt.Fprintf(w, "progress: τ=%d finished (%d states visited)\n", ev.Tau, ev.Visited)
 		case relatrust.ProgressTauStarted:

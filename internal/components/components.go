@@ -88,12 +88,22 @@ type Decomposition struct {
 	compsOf [][]int32
 	lhs     []relation.AttrSet // per-FD LHS, for extension projection
 
+	// compOf[t] is the component containing tuple t, -1 for tuples in no
+	// violation cluster. The live mutation tier uses it to find which
+	// components a mutated tuple dirties.
+	compOf []int32
+
 	baseLen2   []int32
 	basePairs  []int32
 	baseLen2S  int64
 	basePairsS int64
 
 	largest int // max Component.Tuples
+	// alive counts non-tombstone components. Decompose never produces
+	// tombstones; SpliceEvaluator leaves a dead slot behind when dirty
+	// components merge, so surviving components keep their ids (and their
+	// striped memo tables) across splices.
+	alive int
 }
 
 // Decompose computes the connected components of an analysis' conflict
@@ -203,6 +213,10 @@ func Decompose(an *conflict.Analysis) *Decomposition {
 			d.largest = comp.Tuples
 		}
 	}
+	// The stamp array ends holding exactly the component of every violating
+	// tuple (-1 elsewhere) — keep it as the tuple→component map.
+	d.compOf = stamp
+	d.alive = len(d.Comps)
 
 	// Base responses: the component covers of the unmodified Σ. Their sums
 	// with the global fallback rule equal CoverSize(nil) by the argument in
@@ -219,8 +233,13 @@ func Decompose(an *conflict.Analysis) *Decomposition {
 	return d
 }
 
-// Components returns the number of connected components.
-func (d *Decomposition) Components() int { return len(d.Comps) }
+// Components returns the number of live connected components (splice
+// tombstones excluded).
+func (d *Decomposition) Components() int { return d.alive }
+
+// CompOf returns the component containing tuple t, or -1 when t is in no
+// violation cluster (including splice tombstone-cleared tuples).
+func (d *Decomposition) CompOf(t int32) int32 { return d.compOf[t] }
 
 // LargestComponent returns the tuple count of the largest component.
 func (d *Decomposition) LargestComponent() int { return d.largest }
@@ -258,7 +277,13 @@ type Counters struct {
 type Evaluator struct {
 	d *Decomposition
 
-	stripes [memoStripes]sync.Mutex
+	// stripes is shared across every evaluator spliced from one ancestor:
+	// surviving components alias their memo maps across the splice, and the
+	// shared mutexes keep concurrent mutation of one map by the old and new
+	// evaluator (an in-flight sweep and a post-mutation sweep) serialized —
+	// component ids are stable across splices, so both sides lock the same
+	// stripe for the same map.
+	stripes *[memoStripes]sync.Mutex
 	// memo1 serves the dominant single-FD components keyed by the
 	// projected extension set directly; memoK serves multi-FD components
 	// keyed by the packed projection. Both indexed by component, created
@@ -280,7 +305,8 @@ type Evaluator struct {
 func NewEvaluator(an *conflict.Analysis) *Evaluator {
 	d := Decompose(an)
 	return &Evaluator{
-		d: d,
+		d:       d,
+		stripes: new([memoStripes]sync.Mutex),
 		// Fixed-size so concurrent stripes never reallocate the slices;
 		// the maps themselves are created lazily under their stripe.
 		memo1:  make([]map[relation.AttrSet]compVal, len(d.Comps)),

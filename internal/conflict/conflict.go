@@ -143,24 +143,31 @@ func NewFiltered(in *relation.Instance, sigma fd.Set, filters []func(relation.Tu
 		// Keep groups of ≥2 tuples with ≥2 distinct RHS codes. Two passes:
 		// the first sizes one arena exactly, so the kept cluster slices
 		// share a backing array that never reallocates from under them.
-		kept, total := 0, 0
+		kept, total := make([]int32, 0, 64), 0
 		for gi := 0; gi < pt.NumGroups(); gi++ {
 			g := pt.Group(gi)
 			if len(g) >= 2 && mixedRHS(g, rhs) {
-				kept++
+				kept = append(kept, int32(gi))
 				total += len(g)
 			}
 		}
-		if kept == 0 {
+		if len(kept) == 0 {
 			continue
 		}
+		// Canonical cluster order: ascending by leading (minimum) tuple.
+		// The partitioner emits groups in hierarchical refinement order,
+		// which depends on the refinement path; sorting by the leading
+		// tuple makes the cluster list a pure function of membership, so
+		// incrementally spliced analyses (internal/live) reproduce it
+		// exactly — including the order-sensitive capped samplers
+		// (MatchingEdgeSample, DiffSets).
+		sort.Slice(kept, func(i, j int) bool {
+			return pt.Group(int(kept[i]))[0] < pt.Group(int(kept[j]))[0]
+		})
 		arena := make([]int32, 0, total)
-		cl := make([][]int32, 0, kept)
-		for gi := 0; gi < pt.NumGroups(); gi++ {
-			g := pt.Group(gi)
-			if len(g) < 2 || !mixedRHS(g, rhs) {
-				continue
-			}
+		cl := make([][]int32, 0, len(kept))
+		for _, gi := range kept {
+			g := pt.Group(int(gi))
 			start := len(arena)
 			arena = append(arena, g...)
 			cl = append(cl, arena[start:len(arena):len(arena)])
@@ -168,6 +175,25 @@ func NewFiltered(in *relation.Instance, sigma fd.Set, filters []func(relation.Tu
 		a.clusters[fi] = cl
 	}
 	return a
+}
+
+// NewFromClusters wraps externally maintained violation clusters in an
+// Analysis without re-partitioning the instance. The caller (the live
+// mutation tier) guarantees the clusters are exactly what NewFiltered
+// would compute for (in, sigma): per FD, the LHS-projection groups with
+// ≥2 tuples spanning ≥2 distinct RHS codes, members ascending, clusters
+// in ascending order of leading member. The cluster slices are aliased,
+// not copied; the caller must not mutate them while any fork of the
+// analysis is live.
+func NewFromClusters(in *relation.Instance, sigma fd.Set, clusters [][][]int32) *Analysis {
+	return &Analysis{
+		In:       in,
+		Sigma:    sigma,
+		clusters: clusters,
+		matched:  make([]int, in.N()),
+		part:     relation.NewPartitioner(in),
+		forkPool: &sync.Pool{},
+	}
 }
 
 // mixedRHS reports whether the group spans ≥2 distinct RHS codes.

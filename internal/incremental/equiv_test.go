@@ -68,6 +68,33 @@ func (t *oracleTracker) set(tuple, attr int, v relation.Value) int64 {
 	return t.pairs - before
 }
 
+func (t *oracleTracker) insert(tuple relation.Tuple) int64 {
+	before := t.pairs
+	t.in.Tuples = append(t.in.Tuples, tuple)
+	ti := t.in.N() - 1
+	for _, st := range t.fds {
+		t.pairs -= st.pairs
+		st.addTuple(t.in, ti)
+		t.pairs += st.pairs
+	}
+	return t.pairs - before
+}
+
+func (t *oracleTracker) delete(ti int) int64 {
+	before := t.pairs
+	for _, st := range t.fds {
+		t.pairs -= st.pairs
+		st.removeTuple(t.in, ti)
+		t.pairs += st.pairs
+	}
+	last := t.in.N() - 1
+	if ti != last {
+		t.in.Tuples[ti] = t.in.Tuples[last]
+	}
+	t.in.Tuples = t.in.Tuples[:last]
+	return t.pairs - before
+}
+
 func (st *oracleFDState) addTuple(in *relation.Instance, ti int) {
 	key := in.Project(ti, st.f.LHS)
 	g, ok := st.groups[key]
@@ -168,6 +195,96 @@ func TestTrackerMatchesStringKeyedOracle(t *testing.T) {
 			}
 			if tracker.Satisfied() != (oracle.pairs == 0) {
 				t.Fatalf("trial %d step %d: Satisfied disagrees with the oracle", trial, step)
+			}
+		}
+	}
+}
+
+// TestTrackerMatchesOracleUnderRowChurn widens the stream to row inserts
+// and swap-remove deletes — the same batch semantics the live mutation
+// tier applies — and holds the dictionary-code tracker to the string-keyed
+// oracle's totals, per-FD splits, and per-operation deltas throughout.
+func TestTrackerMatchesOracleUnderRowChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(2027))
+	for trial := 0; trial < 40; trial++ {
+		width := 3 + rng.Intn(3)
+		n := 4 + rng.Intn(16)
+		dom := 2 + rng.Intn(2)
+		in := testkit.RandomInstance(rng, n, width, dom)
+		sigma := testkit.RandomFDs(rng, width, 1+rng.Intn(3), 2)
+
+		tracker := New(in.Clone(), sigma)
+		oracle := newOracle(in.Clone(), sigma)
+
+		randomTuple := func() relation.Tuple {
+			tup := make(relation.Tuple, width)
+			for a := range tup {
+				tup[a] = relation.Const(string(rune('a' + rng.Intn(dom))))
+			}
+			return tup
+		}
+		for step := 0; step < 60; step++ {
+			var delta, wantDelta int64
+			var err error
+			cur := tracker.Instance().N()
+			switch op := rng.Intn(4); {
+			case op == 0 || cur == 0: // insert
+				tup := randomTuple()
+				// Each side gets its own backing array: a later Set through
+				// one tracker must not write through the other's cells.
+				delta, err = tracker.Insert(append(relation.Tuple(nil), tup...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantDelta = oracle.insert(append(relation.Tuple(nil), tup...))
+			case op == 1: // swap-remove delete
+				ti := rng.Intn(cur)
+				var moved int
+				delta, moved, err = tracker.Delete(ti)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantMoved := -1; ti != cur-1 {
+					wantMoved = cur - 1
+					if moved != wantMoved {
+						t.Fatalf("trial %d step %d: moved %d, want %d", trial, step, moved, wantMoved)
+					}
+				} else if moved != wantMoved {
+					t.Fatalf("trial %d step %d: moved %d deleting the last row", trial, step, moved)
+				}
+				wantDelta = oracle.delete(ti)
+			default: // cell update
+				ti, attr := rng.Intn(cur), rng.Intn(width)
+				v := relation.Const(string(rune('a' + rng.Intn(dom))))
+				delta, err = tracker.Set(ti, attr, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantDelta = oracle.set(ti, attr, v)
+			}
+			if delta != wantDelta {
+				t.Fatalf("trial %d step %d: delta %d != oracle %d", trial, step, delta, wantDelta)
+			}
+			if tracker.ViolatingPairs() != oracle.pairs {
+				t.Fatalf("trial %d step %d: pairs %d != oracle %d", trial, step, tracker.ViolatingPairs(), oracle.pairs)
+			}
+			perFD := tracker.PairsPerFD()
+			for i, st := range oracle.fds {
+				if perFD[i] != st.pairs {
+					t.Fatalf("trial %d step %d: FD %d pairs %d != oracle %d", trial, step, i, perFD[i], st.pairs)
+				}
+			}
+			if got, want := tracker.Instance().N(), oracle.in.N(); got != want {
+				t.Fatalf("trial %d step %d: row counts diverged %d vs %d", trial, step, got, want)
+			}
+		}
+		// The surviving rows must be identical, proving the swap-remove
+		// renumbering matched move for move.
+		for ti := 0; ti < oracle.in.N(); ti++ {
+			for a := 0; a < width; a++ {
+				if !tracker.Instance().Tuples[ti][a].Equal(oracle.in.Tuples[ti][a]) {
+					t.Fatalf("trial %d: cell (%d,%d) diverged after the stream", trial, ti, a)
+				}
 			}
 		}
 	}

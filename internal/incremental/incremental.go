@@ -1,5 +1,6 @@
 // Package incremental maintains the violation state of an instance under
-// single-cell updates, without rescanning. It is the substrate an
+// single-cell updates and row inserts/deletes, without rescanning. It is
+// the substrate an
 // interactive cleaning session needs: after each candidate edit (or each
 // accepted suggestion from the repair spectrum) the violation count, the
 // dirty-tuple set, and the satisfied/violated verdict refresh in time
@@ -121,9 +122,9 @@ func (t *Tracker) Set(tuple, attr int, v relation.Value) (delta int64, err error
 		}
 	}
 	t.in.Tuples[tuple][attr] = v
-	// An in-place cell write invalidates any dictionary-code columns other
-	// consumers may have cached on the instance (see relation.Codes).
-	t.in.InvalidateCodes()
+	// An in-place cell write invalidates the written attribute's cached
+	// code column (see relation.Codes); the other columns stay warm.
+	t.in.InvalidateCodesFor(relation.NewAttrSet(attr))
 	for _, st := range t.fds {
 		if st.f.LHS.Contains(attr) || st.f.RHS == attr {
 			st.addTuple(t.in, tuple)
@@ -131,6 +132,59 @@ func (t *Tracker) Set(tuple, attr int, v relation.Value) (delta int64, err error
 		}
 	}
 	return t.pairs - before, nil
+}
+
+// Insert appends a tuple and registers it with every FD, returning the
+// change in total violating pairs. Cost is O(|Σ|): one group update per
+// FD, independent of the instance size.
+func (t *Tracker) Insert(tuple relation.Tuple) (delta int64, err error) {
+	if len(tuple) != t.in.Schema.Width() {
+		return 0, fmt.Errorf("incremental: tuple width %d does not match schema width %d",
+			len(tuple), t.in.Schema.Width())
+	}
+	before := t.pairs
+	if err := t.in.Append(tuple); err != nil {
+		return 0, err
+	}
+	ti := t.in.N() - 1
+	for _, st := range t.fds {
+		t.pairs -= st.pairs
+		st.addTuple(t.in, ti)
+		t.pairs += st.pairs
+	}
+	// The row count changed, so every cached code column is now the wrong
+	// length; drop them all.
+	t.in.InvalidateCodes()
+	return t.pairs - before, nil
+}
+
+// Delete removes tuple ti by swap-remove — the last row takes index ti,
+// the same renumbering the live mutation tier uses — and returns the
+// change in total violating pairs plus the old index of the row that
+// moved into ti (-1 when ti was the last row). The moved row needs no
+// re-registration: groups and histograms are keyed by values, not
+// indices, so its statistics are untouched by the renumbering.
+func (t *Tracker) Delete(ti int) (delta int64, moved int, err error) {
+	n := t.in.N()
+	if ti < 0 || ti >= n {
+		return 0, -1, fmt.Errorf("incremental: tuple %d out of range", ti)
+	}
+	before := t.pairs
+	for _, st := range t.fds {
+		t.pairs -= st.pairs
+		st.removeTuple(t.in, ti)
+		t.pairs += st.pairs
+	}
+	moved = -1
+	last := n - 1
+	if ti != last {
+		t.in.Tuples[ti] = t.in.Tuples[last]
+		moved = last
+	}
+	t.in.Tuples[last] = nil
+	t.in.Tuples = t.in.Tuples[:last]
+	t.in.InvalidateCodes()
+	return t.pairs - before, moved, nil
 }
 
 // addTuple registers tuple ti with the FD's partition.

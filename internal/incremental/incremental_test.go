@@ -118,3 +118,74 @@ func TestTrackerApplyRepair(t *testing.T) {
 		t.Fatalf("tracker still sees %d violating pairs after replaying the repair", tr.ViolatingPairs())
 	}
 }
+
+func TestTrackerInsertDeleteBasics(t *testing.T) {
+	in := testkit.Build([]string{"A", "B"}, [][]string{
+		{"1", "x"}, {"2", "y"},
+	})
+	sigma := fd.MustParseSet(in.Schema, "A->B")
+	tr := New(in.Clone(), sigma)
+	if !tr.Satisfied() {
+		t.Fatal("clean instance reported violations")
+	}
+	delta, err := tr.Insert(relation.Tuple{relation.Const("1"), relation.Const("y")})
+	if err != nil || delta != 1 || tr.ViolatingPairs() != 1 {
+		t.Fatalf("insert: delta=%d err=%v pairs=%d", delta, err, tr.ViolatingPairs())
+	}
+	// Deleting row 0 removes the conflict and moves the inserted row into
+	// its slot.
+	delta, moved, err := tr.Delete(0)
+	if err != nil || delta != -1 || moved != 2 || !tr.Satisfied() {
+		t.Fatalf("delete: delta=%d moved=%d err=%v", delta, moved, err)
+	}
+	if got := tr.Instance().Tuples[0][1].Key(); got != "y" {
+		t.Fatalf("swap-remove left %q at row 0, want the moved row", got)
+	}
+	// Deleting the last row reports no move.
+	if _, moved, _ := tr.Delete(tr.Instance().N() - 1); moved != -1 {
+		t.Fatalf("deleting the last row reported move %d", moved)
+	}
+	if _, err := tr.Insert(relation.Tuple{relation.Const("1")}); err == nil {
+		t.Error("short tuple must fail")
+	}
+	if _, _, err := tr.Delete(99); err == nil {
+		t.Error("delete out of range must fail")
+	}
+}
+
+// TestTrackerMatchesRescanUnderRowChurn: the incremental count stays equal
+// to a from-scratch rescan across a mixed stream of cell updates, inserts,
+// and swap-remove deletes.
+func TestTrackerMatchesRescanUnderRowChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 12; trial++ {
+		in := testkit.RandomInstance(rng, 10, 4, 2)
+		sigma := testkit.RandomFDs(rng, 4, 2, 2)
+		tr := New(in.Clone(), sigma)
+		for step := 0; step < 50; step++ {
+			n := tr.Instance().N()
+			switch op := rng.Intn(4); {
+			case op == 0 || n == 0:
+				tup := make(relation.Tuple, 4)
+				for a := range tup {
+					tup[a] = relation.Const(string(rune('a' + rng.Intn(2))))
+				}
+				if _, err := tr.Insert(tup); err != nil {
+					t.Fatal(err)
+				}
+			case op == 1:
+				if _, _, err := tr.Delete(rng.Intn(n)); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				v := relation.Const(string(rune('a' + rng.Intn(2))))
+				if _, err := tr.Set(rng.Intn(n), rng.Intn(4), v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := tr.ViolatingPairs(), pairsByRescan(tr.Instance(), sigma); got != want {
+				t.Fatalf("trial %d step %d: incremental %d ≠ rescan %d", trial, step, got, want)
+			}
+		}
+	}
+}

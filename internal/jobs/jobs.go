@@ -79,6 +79,11 @@ var (
 	// ErrInterrupted is the shutdown cause: the job is not terminal — its
 	// durable record stays "running" and the next boot resumes it.
 	ErrInterrupted = errors.New("jobs: interrupted by shutdown")
+	// ErrDatasetMutated is the start error when a recovered job's
+	// generation no longer matches the dataset's: its partial results
+	// answer for rows that were since rewritten, so the job fails rather
+	// than resume against the wrong data.
+	ErrDatasetMutated = errors.New("jobs: dataset mutated since the job was recorded")
 	// ErrCheckpoint wraps a result-log append failure, so the serving
 	// layer can map it to its storage error code.
 	ErrCheckpoint = errors.New("jobs: checkpoint append failed")
@@ -99,6 +104,11 @@ type Spec struct {
 	Weights        string
 	Seed           int64
 	IncludeChanges bool
+	// Generation is the dataset's mutation generation at submission:
+	// mutating a dataset re-addresses every job against it, so a
+	// resubmitted spec runs a fresh sweep instead of replaying answers
+	// computed over rows that no longer exist.
+	Generation int64
 }
 
 // ID derives the job id from the spec: a short hex digest with a "j"
@@ -106,8 +116,9 @@ type Spec struct {
 // identical ids; that is what coalescing and boot resume key on.
 func (sp Spec) ID() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x1f%s\x1f%d\x1f%d\x1f%s\x1f%d\x1f%t",
-		sp.Dataset, sp.FDs, sp.TauLow, sp.TauHigh, sp.Weights, sp.Seed, sp.IncludeChanges)
+	fmt.Fprintf(h, "%s\x1f%s\x1f%d\x1f%d\x1f%s\x1f%d\x1f%t\x1f%d",
+		sp.Dataset, sp.FDs, sp.TauLow, sp.TauHigh, sp.Weights, sp.Seed, sp.IncludeChanges,
+		sp.Generation)
 	return "j" + hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -490,7 +501,7 @@ func (m *Manager) record(j *Job) store.JobRecord {
 	return store.JobRecord{
 		ID: j.ID, Dataset: j.Dataset, FDs: j.FDs,
 		TauLow: j.TauLow, TauHigh: j.TauHigh, Weights: j.Weights,
-		Seed: j.Seed, IncludeChanges: j.IncludeChanges,
+		Seed: j.Seed, IncludeChanges: j.IncludeChanges, Generation: j.Generation,
 		State: string(j.state), ErrorCode: j.errCode, ErrorMessage: j.errMsg,
 		CreatedUnix: j.createdUnix, UpdatedUnix: m.opt.Now(),
 	}
@@ -632,6 +643,7 @@ func (m *Manager) Recover(start StartFunc) (int, error) {
 				TauLow: r.Record.TauLow, TauHigh: r.Record.TauHigh,
 				Weights: r.Record.Weights, Seed: r.Record.Seed,
 				IncludeChanges: r.Record.IncludeChanges,
+				Generation:     r.Record.Generation,
 			},
 			ID: r.Record.ID, m: m,
 			state:       State(r.Record.State),

@@ -93,12 +93,15 @@ func TestSpecIDStableAndDistinct(t *testing.T) {
 	if a.ID() != b.ID() {
 		t.Fatalf("identical specs got distinct ids %s and %s", a.ID(), b.ID())
 	}
-	variants := []Spec{testSpec("other"), a, a, a, a, a}
+	variants := []Spec{testSpec("other"), a, a, a, a, a, a}
 	variants[1].FDs = "A->C"
 	variants[2].TauLow = 1
 	variants[3].Weights = "distinct-count"
 	variants[4].Seed = 8
 	variants[5].IncludeChanges = true
+	// A mutation bumps the generation: the same spec must address a new
+	// job, never coalesce onto the pre-mutation frontier.
+	variants[6].Generation = 1
 	seen := map[string]int{a.ID(): -1}
 	for i, v := range variants {
 		id := v.ID()

@@ -105,6 +105,38 @@ func (in *Instance) InvalidateCodes() {
 	in.codes.mu.Unlock()
 }
 
+// InvalidateCodesFor drops only the cached code columns of the attributes
+// in X, leaving the others warm. Callers that rewrite a known subset of
+// cells (a targeted mutation batch, a single-cell Set) use this instead of
+// InvalidateCodes so untouched columns keep their lazily built encoding.
+func (in *Instance) InvalidateCodesFor(X AttrSet) {
+	in.codes.mu.Lock()
+	if in.codes.cols != nil {
+		for _, a := range X.Attrs() {
+			if a < len(in.codes.cols) {
+				in.codes.cols[a] = nil
+			}
+		}
+	}
+	in.codes.mu.Unlock()
+}
+
+// SetCodes installs an externally maintained code column for attribute a:
+// codes[t] must be the code of Tuples[t][a] under some dictionary with n
+// distinct codes (codes in [0, n), equal codes iff Equal cells). The live
+// mutation tier uses this to hand a freshly spliced instance columns it
+// already keeps current, instead of paying a full re-encoding scan per
+// batch. len(codes) must equal the instance's tuple count — Codes would
+// otherwise discard the column and rebuild.
+func (in *Instance) SetCodes(a int, codes []int32, n int32) {
+	in.codes.mu.Lock()
+	if in.codes.cols == nil {
+		in.codes.cols = make([]*codeColumn, in.Schema.Width())
+	}
+	in.codes.cols[a] = &codeColumn{codes: codes, n: n}
+	in.codes.mu.Unlock()
+}
+
 // Partition is an ordered partition of tuple indices, stored flat: group i
 // is Tuples[Offsets[i]:Offsets[i+1]]. The flat layout is deliberate — the
 // conflict analysis runs two-pointer sweeps across group boundaries

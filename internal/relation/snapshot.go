@@ -85,18 +85,25 @@ func WriteSnapshot(w io.Writer, in *Instance) error {
 
 	for a := 0; a < width; a++ {
 		codes, distinct := in.Codes(a)
-		// The dictionary lists each distinct value at its code's index:
-		// codes are assigned in first-encounter order, so the first tuple
-		// carrying code c holds the value of dictionary entry c.
-		dict := make([]Value, distinct)
-		seen := make([]bool, distinct)
+		// Re-canonicalize to dense first-encounter codes: columns installed
+		// by the live mutation tier share grow-only dictionaries, so after
+		// deletes their code space can have gaps (distinct > values actually
+		// present), which the decoder rightly rejects. For columns that are
+		// already dense and first-encounter ordered — everything Codes()
+		// builds itself — the remap is the identity and the bytes are
+		// unchanged.
+		remap := make([]int32, distinct)
+		for i := range remap {
+			remap[i] = -1
+		}
+		dict := make([]Value, 0, distinct)
 		for t, c := range codes {
-			if !seen[c] {
-				seen[c] = true
-				dict[c] = in.Tuples[t][a]
+			if remap[c] < 0 {
+				remap[c] = int32(len(dict))
+				dict = append(dict, in.Tuples[t][a])
 			}
 		}
-		putUvarint(uint64(distinct))
+		putUvarint(uint64(len(dict)))
 		for _, v := range dict {
 			if v.IsVar() {
 				payload.WriteByte(1)
@@ -107,7 +114,7 @@ func WriteSnapshot(w io.Writer, in *Instance) error {
 			}
 		}
 		for _, c := range codes {
-			putUvarint(uint64(c))
+			putUvarint(uint64(remap[c]))
 		}
 	}
 

@@ -45,11 +45,18 @@ type ProgressEvent struct {
 	Components         int
 	LargestComponent   int
 	ComponentsParallel int64
+	// Generation is the mutation generation of the dataset snapshot the
+	// sweep runs against (Config.Generation, defaulting to the session
+	// engine's); 0 outside the live mutation tier. Set on every event, so
+	// observers of a long sweep can tell which snapshot it answers for
+	// after later mutations have moved the dataset on.
+	Generation int64
 }
 
 // progress delivers an event to the configured callback, if any.
 func (s *Session) progress(ev ProgressEvent) {
 	if s.cfg.Progress != nil {
+		ev.Generation = s.generation
 		s.cfg.Progress(ev)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"net/http"
 
 	"relatrust"
+
+	"relatrust/internal/jobs"
 )
 
 // ErrorBody is the structured JSON error envelope of every non-2xx
@@ -41,6 +43,8 @@ const (
 	codeDatasetExists    = "dataset_exists"
 	codeUnknownJob       = "unknown_job"
 	codeDatasetDeleted   = "dataset_deleted"
+	codeDatasetMutated   = "dataset_mutated"
+	codeInvalidOps       = "invalid_ops"
 	codeEmptyFDSet       = "empty_fd_set"
 	codeEmptyInstance    = "empty_instance"
 	codeSchemaMismatch   = "schema_mismatch"
@@ -97,6 +101,11 @@ func mapError(err error, schema *relatrust.Schema) (int, ErrorBody) {
 	case errors.As(err, &mv):
 		status, detail.Code = http.StatusServiceUnavailable, codeMaxVisited
 		detail.Visited = mv.Stats.Visited
+	case errors.Is(err, jobs.ErrDatasetMutated):
+		// A recovered job whose dataset moved to a new generation: the
+		// checkpointed frontier answers for rows that no longer exist.
+		// 409 — resubmit the spec to sweep the current generation.
+		status, detail.Code = http.StatusConflict, codeDatasetMutated
 	case errors.Is(err, relatrust.ErrEmptyFDSet):
 		status, detail.Code = http.StatusBadRequest, codeEmptyFDSet
 	case errors.Is(err, relatrust.ErrEmptyInstance):

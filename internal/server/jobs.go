@@ -43,7 +43,9 @@ type JobInfo struct {
 	Weights        string `json:"weights"`
 	Seed           int64  `json:"seed,omitempty"`
 	IncludeChanges bool   `json:"include_changes,omitempty"`
-	State          string `json:"state"`
+	// Generation is the dataset mutation generation the job answers for.
+	Generation int64  `json:"generation,omitempty"`
+	State      string `json:"state"`
 	// Rows is how many frontier rows are checkpointed and streamable.
 	Rows  int          `json:"rows"`
 	Error *ErrorDetail `json:"error,omitempty"`
@@ -54,7 +56,8 @@ func jobInfo(st jobs.Status) JobInfo {
 		ID: st.ID, Dataset: st.Dataset, FDs: st.FDs,
 		TauLow: st.TauLow, TauHigh: st.TauHigh, Weights: st.Weights,
 		Seed: st.Seed, IncludeChanges: st.IncludeChanges,
-		State: string(st.State), Rows: st.Rows,
+		Generation: st.Generation,
+		State:      string(st.State), Rows: st.Rows,
 	}
 	if st.ErrorCode != "" {
 		info.Error = &ErrorDetail{Code: st.ErrorCode, Message: st.ErrorMessage}
@@ -64,7 +67,10 @@ func jobInfo(st jobs.Status) JobInfo {
 
 // jobSpec canonicalizes the request into the job's content address: FDs
 // are re-formatted against the schema (so "A ,B->C" and "A,B->C" address
-// the same job) and the weighting name is validated and defaulted.
+// the same job), the weighting name is validated and defaulted, and the
+// dataset's current mutation generation is stamped in — so resubmitting a
+// spec after a PATCH addresses a new job over the new rows instead of
+// coalescing onto the stale frontier.
 func (s *Server) jobSpec(d *dataset, req RepairRequest, sigma relatrust.FDSet) (jobs.Spec, error) {
 	if req.TauLow < 0 {
 		return jobs.Spec{}, fmt.Errorf("tau_low must be non-negative")
@@ -80,12 +86,13 @@ func (s *Server) jobSpec(d *dataset, req RepairRequest, sigma relatrust.FDSet) (
 	if wname == "" {
 		wname = "distinct-count"
 	}
-	if _, err := weights.ByName(wname, d.in); err != nil {
+	in := d.live.Rows()
+	if _, err := weights.ByName(wname, in); err != nil {
 		return jobs.Spec{}, err
 	}
 	parts := make([]string, len(sigma))
 	for i, f := range sigma {
-		parts[i] = f.Format(d.in.Schema)
+		parts[i] = f.Format(in.Schema)
 	}
 	return jobs.Spec{
 		Dataset:        d.name,
@@ -95,6 +102,7 @@ func (s *Server) jobSpec(d *dataset, req RepairRequest, sigma relatrust.FDSet) (
 		Weights:        wname,
 		Seed:           req.Seed,
 		IncludeChanges: req.IncludeChanges,
+		Generation:     d.live.Generation(),
 	}, nil
 }
 
@@ -112,13 +120,14 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusNotFound, codeUnknownDataset, "dataset %q is not registered", req.Dataset)
 		return
 	}
-	sigma, err := relatrust.ParseFDs(d.in.Schema, req.FDs)
+	schema := d.live.Rows().Schema
+	sigma, err := relatrust.ParseFDs(schema, req.FDs)
 	if err != nil {
 		writeErrorCode(w, http.StatusBadRequest, codeBadFDs, "parsing FDs: %v", err)
 		return
 	}
 	if len(sigma) == 0 {
-		status, body := mapError(relatrust.ErrEmptyFDSet, d.in.Schema)
+		status, body := mapError(relatrust.ErrEmptyFDSet, schema)
 		writeError(w, status, body)
 		return
 	}
@@ -215,7 +224,11 @@ func (s *Server) waitSweepSlot(d *dataset) error {
 // checkpointed row when the job holds replayed frames (the resume bound
 // is that row's δP−1 — see the package doc of internal/jobs for why that
 // reproduces the uninterrupted stream exactly), and emits each row's wire
-// bytes through the manager's checkpoint-then-publish path.
+// bytes through the manager's checkpoint-then-publish path. The sweep
+// pins the dataset's snapshot at start and refuses to run if its
+// generation no longer matches the job's — checkpointed rows of a
+// pre-mutation frontier must never be continued over different data
+// (this is the boot-resume path after a restart that followed a PATCH).
 func (s *Server) jobSweep(d *dataset, req RepairRequest, j *jobs.Job) jobs.Sweep {
 	return func(ctx context.Context, emit func(frame []byte) error) (err error) {
 		rows := 0
@@ -229,15 +242,20 @@ func (s *Server) jobSweep(d *dataset, req RepairRequest, j *jobs.Job) jobs.Sweep
 			}
 			d.sweepDone(rows, err)
 		}()
-		sigma, err := relatrust.ParseFDs(d.in.Schema, j.FDs)
+		in, sess, gen := s.snapshotFor(d)
+		if j.Generation != gen {
+			return fmt.Errorf("%w: job answers for generation %d, dataset is at %d",
+				jobs.ErrDatasetMutated, j.Generation, gen)
+		}
+		sigma, err := relatrust.ParseFDs(in.Schema, j.FDs)
 		if err != nil {
 			return err
 		}
-		opt, err := s.options(d, req)
+		opt, err := s.options(d, req, in, sess)
 		if err != nil {
 			return err
 		}
-		rp, err := relatrust.NewRepairer(d.in, sigma, opt)
+		rp, err := relatrust.NewRepairer(in, sigma, opt)
 		if err != nil {
 			return err
 		}
@@ -260,9 +278,9 @@ func (s *Server) jobSweep(d *dataset, req RepairRequest, j *jobs.Job) jobs.Sweep
 				return ferr
 			}
 			level++
-			frame := frontierFrame{Row: report.RowOf(d.in, level, rep)}
+			frame := frontierFrame{Row: report.RowOf(in, level, rep)}
 			if j.IncludeChanges {
-				frame.Changes = changesOf(d.in, rep.Data)
+				frame.Changes = changesOf(in, rep.Data)
 			}
 			raw, merr := json.Marshal(frame)
 			if merr != nil {

@@ -61,6 +61,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"relatrust_component_parallel_evals_total", "Per-component cover evaluations dispatched across the worker pool by the last finished sweep.", func(d DatasetStatz) float64 { return float64(d.ComponentsParallel) }},
 		{"relatrust_session_acquires_total", "Analyses handed out by the shared session.", func(d DatasetStatz) float64 { return float64(d.SessionAcquires) }},
 		{"relatrust_session_builds_total", "Analyses built from scratch by the shared session.", func(d DatasetStatz) float64 { return float64(d.SessionBuilds) }},
+		{"relatrust_dataset_generation", "Current mutation generation of the dataset.", func(d DatasetStatz) float64 { return float64(d.Generation) }},
+		{"relatrust_mutations_applied_total", "Row operations applied by committed mutation batches.", func(d DatasetStatz) float64 { return float64(d.MutationsApplied) }},
+		{"relatrust_components_dirtied_total", "Conflict components whose memoized cover state mutations invalidated.", func(d DatasetStatz) float64 { return float64(d.ComponentsDirtied) }},
 	}
 	for _, m := range perDataset {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", m.name, m.help, m.name)

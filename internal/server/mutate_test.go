@@ -1,0 +1,381 @@
+package server
+
+// End-to-end tests of the live mutation tier: PATCH semantics and
+// validation, byte-identity of post-mutation repairs with an
+// upload-from-scratch dataset, snapshot isolation of a sweep gated
+// mid-flight while a batch commits, generation re-addressing of jobs, and
+// durability of mutations and generations across a restart.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// patchRows applies a mutation batch over HTTP and returns the response.
+func patchRows(t *testing.T, base, name string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPatch,
+		fmt.Sprintf("%s/v1/datasets/%s/rows", base, name), bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// mustPatch applies the batch and decodes the success body.
+func mustPatch(t *testing.T, base, name string, ops []mutateOp) mutateResponse {
+	t.Helper()
+	resp := patchRows(t, base, name, mutateRequest{Ops: ops})
+	if resp.StatusCode != http.StatusOK {
+		var eb ErrorBody
+		decodeBody(t, resp, &eb)
+		t.Fatalf("patch: status %d, error %+v", resp.StatusCode, eb.Error)
+	}
+	var out mutateResponse
+	decodeBody(t, resp, &out)
+	return out
+}
+
+// repairLines streams /v1/repair for the request and returns the NDJSON
+// data lines (failing on any in-band error frame).
+func repairLines(t *testing.T, base string, req RepairRequest) []string {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/repair", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repair: status %d", resp.StatusCode)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		var eb ErrorBody
+		if json.Unmarshal([]byte(line), &eb) == nil && eb.Error.Code != "" {
+			t.Fatalf("repair stream error frame: %+v", eb.Error)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// vals builds a full paper-schema tuple for the wire batch.
+func vals(a, b, c, d string) map[string]string {
+	return map[string]string{"A": a, "B": b, "C": c, "D": d}
+}
+
+// paperBatch is the fixture mutation batch over paperCSV, and
+// paperMutatedCSV the rows it must leave behind, derived by hand from the
+// batch semantics (inserts append, deletes swap-remove — the last row
+// takes the deleted row's index — and indices address the instance as
+// left by the preceding ops):
+//
+//	start:   (1,1,1,1) (1,2,1,3) (2,2,1,1) (2,3,4,3)
+//	delete 0: (2,3,4,3) (1,2,1,3) (2,2,1,1)      [move 3→0]
+//	insert:   (2,3,4,3) (1,2,1,3) (2,2,1,1) (3,1,1,2)
+//	update 1: (2,3,4,3) (1,2,4,1) (2,2,1,1) (3,1,1,2)
+func paperBatch() []mutateOp {
+	row1 := 1
+	row0 := 0
+	return []mutateOp{
+		{Op: "delete", Row: &row0},
+		{Op: "insert", Values: vals("3", "1", "1", "2")},
+		{Op: "update", Row: &row1, Values: vals("1", "2", "4", "1")},
+	}
+}
+
+const paperMutatedCSV = `A,B,C,D
+2,3,4,3
+1,2,4,1
+2,2,1,1
+3,1,1,2
+`
+
+// TestMutateThenRepairMatchesFreshUpload is the serving-layer oracle: a
+// PATCHed dataset must answer /v1/repair byte-identically to a dataset
+// uploaded from scratch with the post-mutation rows — same NDJSON, same
+// order — because the incremental state behind it is supposed to be
+// indistinguishable from a rebuild.
+func TestMutateThenRepairMatchesFreshUpload(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+
+	res := mustPatch(t, ts.URL, "paper", paperBatch())
+	if res.Generation != 1 || res.Applied != 3 || res.Rows != 4 {
+		t.Fatalf("patch result = %+v, want generation 1, applied 3, rows 4", res)
+	}
+	if len(res.Moves) != 1 || res.Moves[0] != (mutateMove{From: 3, To: 0}) {
+		t.Fatalf("moves = %+v, want [{3 0}]", res.Moves)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/datasets", registerRequest{Name: "fresh", CSV: paperMutatedCSV})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register fresh: status %d", resp.StatusCode)
+	}
+
+	live := repairLines(t, ts.URL, RepairRequest{Dataset: "paper", FDs: paperFDs, Seed: 9})
+	want := repairLines(t, ts.URL, RepairRequest{Dataset: "fresh", FDs: paperFDs, Seed: 9})
+	if len(live) != len(want) {
+		t.Fatalf("mutated dataset streamed %d rows, fresh upload %d", len(live), len(want))
+	}
+	for i := range want {
+		if live[i] != want[i] {
+			t.Errorf("row %d:\n  mutated %s\n  fresh   %s", i, live[i], want[i])
+		}
+	}
+
+	// The same must hold for a second batch over the already-warm state.
+	row2 := 2
+	mustPatch(t, ts.URL, "paper", []mutateOp{{Op: "delete", Row: &row2}})
+	mustPatch(t, ts.URL, "fresh", []mutateOp{{Op: "delete", Row: &row2}})
+	live = repairLines(t, ts.URL, RepairRequest{Dataset: "paper", FDs: paperFDs, Seed: 9})
+	want = repairLines(t, ts.URL, RepairRequest{Dataset: "fresh", FDs: paperFDs, Seed: 9})
+	for i := range want {
+		if i >= len(live) || live[i] != want[i] {
+			t.Fatalf("after second batch, row %d diverged", i)
+		}
+	}
+}
+
+// TestMutateMidSweepIsolation pins the snapshot contract on the wire: a
+// sweep gated mid-flight while a PATCH commits keeps streaming the
+// pre-mutation frontier byte-for-byte, and the very next sweep answers
+// for the new rows.
+func TestMutateMidSweepIsolation(t *testing.T) {
+	want := frontierFrames(t, 9)
+	ts, srv, obs := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+
+	reached, release := gateAtSecondTau(obs)
+	type result struct {
+		lines []string
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/repair", "application/json", repairBody(t, 9))
+		if err != nil {
+			got <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		var lines []string
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		got <- result{lines: lines}
+	}()
+	<-reached
+	// The sweep is provably mid-flight; commit a batch under it.
+	res := mustPatch(t, ts.URL, "paper", paperBatch())
+	if res.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", res.Generation)
+	}
+	close(release)
+	obs.set(nil)
+
+	r := <-got
+	if len(r.lines) != len(want) {
+		t.Fatalf("gated sweep streamed %d rows, want %d", len(r.lines), len(want))
+	}
+	for i := range want {
+		if r.lines[i] != want[i] {
+			t.Errorf("row %d drifted from the pre-mutation frontier:\n  got  %s\n  want %s", i, r.lines[i], want[i])
+		}
+	}
+
+	// The next sweep answers for generation 1: identical to a fresh upload
+	// of the mutated rows.
+	resp := postJSON(t, ts.URL+"/v1/datasets", registerRequest{Name: "fresh", CSV: paperMutatedCSV})
+	resp.Body.Close()
+	after := repairLines(t, ts.URL, RepairRequest{Dataset: "paper", FDs: paperFDs, Seed: 9})
+	fresh := repairLines(t, ts.URL, RepairRequest{Dataset: "fresh", FDs: paperFDs, Seed: 9})
+	for i := range fresh {
+		if i >= len(after) || after[i] != fresh[i] {
+			t.Fatalf("post-mutation sweep row %d diverged from fresh upload", i)
+		}
+	}
+	if st := srv.lookup("paper").statz(); st.Generation != 1 || st.MutationsApplied != 3 {
+		t.Errorf("statz generation/mutations = %d/%d, want 1/3", st.Generation, st.MutationsApplied)
+	}
+}
+
+// TestJobReaddressedAfterMutation is the jobs-generation regression test:
+// an identical spec coalesces while the dataset is unchanged, and sweeps
+// afresh under a new job ID once a mutation batch commits — the old job's
+// replayed frontier stays served, answering for its own generation.
+func TestJobReaddressedAfterMutation(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+
+	first, status := submitJob(t, ts.URL, jobRequest(9))
+	if status != http.StatusCreated || first.Generation != 0 {
+		t.Fatalf("first submit: status %d, generation %d", status, first.Generation)
+	}
+	waitJob(t, ts.URL, first.ID, func(i JobInfo) bool { return i.State == "completed" }, "completed")
+	same, status := submitJob(t, ts.URL, jobRequest(9))
+	if status != http.StatusOK || same.ID != first.ID {
+		t.Fatalf("unmutated resubmission: status %d, id %s (want coalesce onto %s)", status, same.ID, first.ID)
+	}
+	oldRows, terminal := readJobStream(t, ts.URL, first.ID, 0)
+	if terminal != nil || len(oldRows) == 0 {
+		t.Fatalf("first job stream: %d rows, terminal %+v", len(oldRows), terminal)
+	}
+
+	mustPatch(t, ts.URL, "paper", paperBatch())
+
+	second, status := submitJob(t, ts.URL, jobRequest(9))
+	if status != http.StatusCreated {
+		t.Fatalf("post-mutation resubmission coalesced (status %d) — stale frontier served", status)
+	}
+	if second.ID == first.ID || second.Generation != 1 {
+		t.Fatalf("post-mutation job: id %s generation %d, want a fresh id at generation 1", second.ID, second.Generation)
+	}
+	waitJob(t, ts.URL, second.ID, func(i JobInfo) bool { return i.State == "completed" }, "completed")
+
+	// Both frontiers stay served, each answering for its own generation.
+	replayed, terminal := readJobStream(t, ts.URL, first.ID, 0)
+	if terminal != nil || len(replayed) != len(oldRows) {
+		t.Fatalf("old job replay after mutation: %d rows, terminal %+v", len(replayed), terminal)
+	}
+	for i := range oldRows {
+		if replayed[i] != oldRows[i] {
+			t.Errorf("old job row %d changed after mutation", i)
+		}
+	}
+}
+
+// TestMutateValidation covers the endpoint's error surface; every
+// rejection must leave the dataset untouched.
+func TestMutateValidation(t *testing.T) {
+	ts, srv, _ := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+	row0, row9 := 0, 9
+
+	resp := patchRows(t, ts.URL, "nope", mutateRequest{Ops: []mutateOp{{Op: "delete", Row: &row0}}})
+	wantErrorCode(t, resp, http.StatusNotFound, codeUnknownDataset)
+
+	for name, ops := range map[string][]mutateOp{
+		"unknown op":        {{Op: "upsert", Row: &row0, Values: vals("1", "1", "1", "1")}},
+		"unknown attribute": {{Op: "insert", Values: map[string]string{"A": "1", "B": "1", "C": "1", "Z": "1"}}},
+		"missing attribute": {{Op: "insert", Values: map[string]string{"A": "1"}}},
+		"update needs row":  {{Op: "update", Values: vals("1", "1", "1", "1")}},
+		"row out of range":  {{Op: "delete", Row: &row9}},
+		"valid prefix, invalid tail": {
+			{Op: "insert", Values: vals("9", "9", "9", "9")},
+			{Op: "delete", Row: &row9},
+		},
+	} {
+		resp := patchRows(t, ts.URL, "paper", mutateRequest{Ops: ops})
+		wantErrorCode(t, resp, http.StatusBadRequest, codeInvalidOps)
+		_ = name
+	}
+
+	resp = patchRows(t, ts.URL, "paper", mutateRequest{})
+	wantErrorCode(t, resp, http.StatusBadRequest, codeBadRequest)
+	resp, err := http.DefaultClient.Do(func() *http.Request {
+		r, _ := http.NewRequest(http.MethodPatch, ts.URL+"/v1/datasets/paper/rows", strings.NewReader("{nope"))
+		return r
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrorCode(t, resp, http.StatusBadRequest, codeBadRequest)
+
+	if st := srv.lookup("paper").statz(); st.Generation != 0 || st.Tuples != 4 || st.MutationsApplied != 0 {
+		t.Fatalf("rejected batches changed the dataset: %+v", st)
+	}
+}
+
+// TestMutateDurableAcrossRestart: committed batches write through —
+// generation sidecar first, then the snapshot — so a rebooted server
+// rehydrates the mutated rows under the right generation and answers
+// byte-identical repairs.
+func TestMutateDurableAcrossRestart(t *testing.T) {
+	dataDir := t.TempDir()
+
+	ts1, srv1, _ := newJobServer(t, dataDir, "", Options{})
+	registerPaper(t, ts1.URL)
+	res := mustPatch(t, ts1.URL, "paper", paperBatch())
+	if res.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", res.Generation)
+	}
+	before := repairLines(t, ts1.URL, RepairRequest{Dataset: "paper", FDs: paperFDs, Seed: 9})
+	ts1.Close()
+	srv1.Close()
+
+	ts2, srv2, _ := newJobServer(t, dataDir, "", Options{})
+	st := srv2.lookup("paper")
+	if st == nil {
+		t.Fatal("dataset not rehydrated")
+	}
+	if g := st.statz(); g.Generation != 1 || g.Tuples != 4 {
+		t.Fatalf("rehydrated generation/tuples = %d/%d, want 1/4", g.Generation, g.Tuples)
+	}
+	after := repairLines(t, ts2.URL, RepairRequest{Dataset: "paper", FDs: paperFDs, Seed: 9})
+	if len(after) != len(before) {
+		t.Fatalf("rebooted stream has %d rows, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Errorf("row %d changed across restart:\n  before %s\n  after  %s", i, before[i], after[i])
+		}
+	}
+}
+
+// TestRecoveredJobFailsAfterMutation: a job interrupted by shutdown whose
+// dataset is mutated before its sweep resumes must fail with
+// dataset_mutated — its checkpointed rows answer for rows that no longer
+// exist, so resuming over the new generation would splice two frontiers.
+func TestRecoveredJobFailsAfterMutation(t *testing.T) {
+	dataDir, jobsDir := t.TempDir(), t.TempDir()
+
+	ts1, srv1, obs1 := newJobServer(t, dataDir, jobsDir, Options{})
+	registerPaper(t, ts1.URL)
+	reached, release := gateAtSecondTau(obs1)
+	info, _ := submitJob(t, ts1.URL, jobRequest(9))
+	<-reached
+	srv1.BeginShutdown()
+	close(release)
+	obs1.set(nil)
+	if _, terminal := readJobStream(t, ts1.URL, info.ID, 0); terminal == nil {
+		t.Fatal("interrupted job stream ended cleanly")
+	}
+	ts1.Close()
+	srv1.Close()
+
+	// Reboot, mutate BEFORE recovering jobs (the daemon's Rehydrate →
+	// serve → RecoverJobs window, compressed).
+	ts2, srv2, _ := newJobServer(t, dataDir, jobsDir, Options{})
+	mustPatch(t, ts2.URL, "paper", paperBatch())
+	if _, err := srv2.RecoverJobs(); err != nil {
+		t.Fatal(err)
+	}
+	failed := waitJob(t, ts2.URL, info.ID, func(i JobInfo) bool { return i.State == "failed" }, "failed")
+	if failed.Error == nil || failed.Error.Code != codeDatasetMutated {
+		t.Fatalf("recovered job error = %+v, want %s", failed.Error, codeDatasetMutated)
+	}
+	// A resubmission addresses the new generation and sweeps cleanly.
+	fresh, status := submitJob(t, ts2.URL, jobRequest(9))
+	if status != http.StatusCreated || fresh.ID == info.ID || fresh.Generation != 1 {
+		t.Fatalf("resubmission: status %d id %s generation %d", status, fresh.ID, fresh.Generation)
+	}
+	waitJob(t, ts2.URL, fresh.ID, func(i JobInfo) bool { return i.State == "completed" }, "completed")
+}

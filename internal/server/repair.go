@@ -108,16 +108,20 @@ func changesOf(in *relatrust.Instance, d *relatrust.DataRepair) []CellChange {
 }
 
 // repairCall is the validated common prefix of the repair-family handlers.
+// in and gen are the snapshot the call is pinned to: mutation batches
+// committing mid-sweep never change what this call streams.
 type repairCall struct {
 	req   RepairRequest
 	ds    *dataset
+	in    *relatrust.Instance
+	gen   int64
 	sigma relatrust.FDSet
 	rp    *relatrust.Repairer
 }
 
-// prepare decodes the request, resolves the dataset, parses the FDs, and
-// constructs the Repairer over the dataset's shared session. On failure it
-// writes the error response and returns false.
+// prepare decodes the request, resolves the dataset, pins its current
+// snapshot, parses the FDs, and constructs the Repairer over the pinned
+// session. On failure it writes the error response and returns false.
 func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (repairCall, bool) {
 	var c repairCall
 	req, err := decodeRepairRequest(http.MaxBytesReader(w, r.Body, s.opt.MaxUploadBytes))
@@ -130,27 +134,30 @@ func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (repairCall, bo
 		writeErrorCode(w, http.StatusNotFound, codeUnknownDataset, "dataset %q is not registered", req.Dataset)
 		return c, false
 	}
-	if c.sigma, err = relatrust.ParseFDs(c.ds.in.Schema, req.FDs); err != nil {
+	var sess *relatrust.Session
+	c.in, sess, c.gen = s.snapshotFor(c.ds)
+	if c.sigma, err = relatrust.ParseFDs(c.in.Schema, req.FDs); err != nil {
 		writeErrorCode(w, http.StatusBadRequest, codeBadFDs, "parsing FDs: %v", err)
 		return c, false
 	}
-	opt, err := s.options(c.ds, req)
+	opt, err := s.options(c.ds, req, c.in, sess)
 	if err != nil {
 		writeErrorCode(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return c, false
 	}
-	if c.rp, err = relatrust.NewRepairer(c.ds.in, c.sigma, opt); err != nil {
-		status, body := mapError(err, c.ds.in.Schema)
+	if c.rp, err = relatrust.NewRepairer(c.in, c.sigma, opt); err != nil {
+		status, body := mapError(err, c.in.Schema)
 		writeError(w, status, body)
 		return c, false
 	}
 	return c, true
 }
 
-// options maps the request onto relatrust.Options over the dataset's
-// shared session, wiring the progress hook that feeds /statz and
-// Options.Observe.
-func (s *Server) options(d *dataset, req RepairRequest) (relatrust.Options, error) {
+// options maps the request onto relatrust.Options over the pinned
+// snapshot's session, wiring the progress hook that feeds /statz and
+// Options.Observe. in must be the instance of the same snapshot, so the
+// weighting describes the rows the sweep actually repairs.
+func (s *Server) options(d *dataset, req RepairRequest, in *relatrust.Instance, sess *relatrust.Session) (relatrust.Options, error) {
 	opt := relatrust.Options{
 		BestFirst:        req.BestFirst,
 		Seed:             req.Seed,
@@ -158,13 +165,13 @@ func (s *Server) options(d *dataset, req RepairRequest) (relatrust.Options, erro
 		Workers:          req.Workers,
 		NoPartitionCache: req.NoPartitionCache,
 		NoDecomposition:  req.NoDecomposition,
-		Session:          s.sessionFor(d),
+		Session:          sess,
 	}
 	if opt.Workers == 0 {
 		opt.Workers = s.opt.Workers
 	}
 	if req.Weights != "" {
-		w, err := weights.ByName(req.Weights, d.in)
+		w, err := weights.ByName(req.Weights, in)
 		if err != nil {
 			return opt, err
 		}
@@ -275,7 +282,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	} else {
 		dp, err := c.rp.MaxBudget(r.Context())
 		if err != nil {
-			status, body := mapError(err, c.ds.in.Schema)
+			status, body := mapError(err, c.in.Schema)
 			writeError(w, status, body)
 			return
 		}
@@ -294,7 +301,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	st := newStream(w, r)
 	rows, sweepErr := s.streamFrontier(ctx, c, st, lo, hi)
 	if sweepErr != nil {
-		_, body := mapError(sweepErr, c.ds.in.Schema)
+		_, body := mapError(sweepErr, c.in.Schema)
 		st.fail(body)
 	} else {
 		st.done(rows)
@@ -319,9 +326,9 @@ func (s *Server) streamFrontier(ctx context.Context, c repairCall, st *stream, l
 			break
 		}
 		rows++
-		frame := frontierFrame{Row: report.RowOf(c.ds.in, rows, rep)}
+		frame := frontierFrame{Row: report.RowOf(c.in, rows, rep)}
 		if c.req.IncludeChanges {
-			frame.Changes = changesOf(c.ds.in, rep.Data)
+			frame.Changes = changesOf(c.in, rep.Data)
 		}
 		if err := st.row(frame); err != nil {
 			// The client is gone; breaking the range loop stops the
@@ -378,13 +385,13 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	rep, err := s.runBudget(ctx, c)
 	if err != nil {
 		done(0, err)
-		status, body := mapError(err, c.ds.in.Schema)
+		status, body := mapError(err, c.in.Schema)
 		writeError(w, status, body)
 		return
 	}
-	frame := frontierFrame{Row: report.RowOf(c.ds.in, 1, rep)}
+	frame := frontierFrame{Row: report.RowOf(c.in, 1, rep)}
 	if c.req.IncludeChanges {
-		frame.Changes = changesOf(c.ds.in, rep.Data)
+		frame.Changes = changesOf(c.in, rep.Data)
 	}
 	done(1, nil)
 	writeJSON(w, http.StatusOK, struct {
@@ -419,7 +426,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	samples, err := s.runSample(ctx, c)
 	if err != nil {
 		done(0, err)
-		status, body := mapError(err, c.ds.in.Schema)
+		status, body := mapError(err, c.in.Schema)
 		writeError(w, status, body)
 		return
 	}
@@ -427,7 +434,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	for _, d := range samples {
 		sr := sampleRepair{CellChanges: d.NumChanges()}
 		if c.req.IncludeChanges {
-			sr.Changes = changesOf(c.ds.in, d)
+			sr.Changes = changesOf(c.in, d)
 		}
 		resp.Samples = append(resp.Samples, sr)
 	}
@@ -464,13 +471,16 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusNotFound, codeUnknownDataset, "dataset %q is not registered", req.Dataset)
 		return
 	}
-	sigma, err := relatrust.ParseFDs(ds.in.Schema, req.FDs)
+	// Pin the current generation's rows once: the scan and the formatted
+	// output describe the same instance even if a PATCH lands mid-request.
+	in := ds.live.Rows()
+	sigma, err := relatrust.ParseFDs(in.Schema, req.FDs)
 	if err != nil {
 		writeErrorCode(w, http.StatusBadRequest, codeBadFDs, "parsing FDs: %v", err)
 		return
 	}
 	if len(sigma) == 0 {
-		status, body := mapError(relatrust.ErrEmptyFDSet, ds.in.Schema)
+		status, body := mapError(relatrust.ErrEmptyFDSet, in.Schema)
 		writeError(w, status, body)
 		return
 	}
@@ -485,7 +495,7 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 	// Ask for one extra pair to detect truncation without enumerating all;
 	// the same scan answers satisfaction (no pairs at all = satisfied),
 	// so no second pass over the instance is needed.
-	found := relatrust.Violations(ds.in, sigma, max+1)
+	found := relatrust.Violations(in, sigma, max+1)
 	truncated := len(found) > max
 	if truncated {
 		found = found[:max]
@@ -501,7 +511,7 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 			T1:      v.T1,
 			T2:      v.T2,
 			FDIndex: v.FD,
-			FD:      sigma[v.FD].Format(ds.in.Schema),
+			FD:      sigma[v.FD].Format(in.Schema),
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -4,24 +4,38 @@
 // # Model
 //
 // Clients register CSV instances into a dataset registry (POST
-// /v1/datasets); each dataset keeps one shared relatrust.Session warm for
-// its whole lifetime, so every repair request over a hot dataset forks the
-// cached conflict analysis instead of re-scanning the data. Repair
+// /v1/datasets); each dataset is a relatrust.LiveDataset, so the conflict
+// analysis stays warm — and incrementally maintained across row mutations
+// — for the dataset's whole lifetime, and every repair request over a hot
+// dataset forks the cached state instead of re-scanning the data. Repair
 // requests name a dataset plus an FD set and run through the public
 // relatrust.Repairer facade:
 //
-//	POST /v1/repair         stream the Pareto frontier (NDJSON, or SSE via Accept)
-//	POST /v1/repair/budget  the single repair for one cell-change budget τ
-//	POST /v1/sample         k sampled minimal data-only repairs
-//	POST /v1/violations     violating tuple pairs for an FD set
-//	GET  /healthz           liveness
-//	GET  /statz             registry and sweep statistics
-//	GET  /metrics           the same counters in Prometheus text format
+//	POST  /v1/repair               stream the Pareto frontier (NDJSON, or SSE via Accept)
+//	POST  /v1/repair/budget        the single repair for one cell-change budget τ
+//	POST  /v1/sample               k sampled minimal data-only repairs
+//	POST  /v1/violations           violating tuple pairs for an FD set
+//	PATCH /v1/datasets/{name}/rows apply a row-mutation batch (insert/update/delete)
+//	GET   /healthz                 liveness
+//	GET   /statz                   registry and sweep statistics
+//	GET   /metrics                 the same counters in Prometheus text format
 //
 // With Options.Store set the registry is durable: registration writes a
 // columnar snapshot through to disk, deletion removes it, and Rehydrate
 // reloads every persisted dataset on boot (corrupt snapshots are
-// quarantined by the store, never fatal).
+// quarantined by the store, never fatal). Row mutations write through
+// before they commit, so a restart never resurrects pre-mutation rows.
+//
+// # Mutations and generations
+//
+// Each dataset carries a mutation generation, advanced by every committed
+// PATCH batch. Sweeps pin the (instance, session, generation) snapshot
+// current when they start and finish against it even if mutations land
+// mid-sweep — streamed rows always describe one consistent generation,
+// stamped on progress events and /statz. Jobs address their generation:
+// mutating a dataset re-addresses subsequent submissions (a resubmitted
+// spec sweeps afresh) and fails recovered jobs whose generation no longer
+// matches (dataset_mutated) instead of resuming them against new rows.
 //
 // # Streaming
 //
@@ -198,19 +212,27 @@ var ErrDatasetExists = errors.New("server: dataset already registered")
 // ErrShuttingDown reports a sweep refused because shutdown began.
 var ErrShuttingDown = errors.New("server: shutting down")
 
-// dataset is one registered instance with its warm shared session and
+// dataset is one registered instance with its live mutation tier and
 // serving statistics.
 type dataset struct {
 	name string
-	in   *relatrust.Instance
+	// live owns the rows, the mutation generation, and the incrementally
+	// maintained repair state; all reads go through its snapshots.
+	live *relatrust.LiveDataset
 	// sem bounds concurrent sweeps; acquire before any repair work.
 	sem chan struct{}
+	// mutMu serializes PATCH batches so the write-through can persist the
+	// post-batch generation before the batch commits (sweeps never take
+	// it — they only snapshot).
+	mutMu sync.Mutex
 
 	mu sync.Mutex
-	// sess is built lazily on the first sweep and may be evicted under
-	// Options.MaxWarmSessions (sessUsed is the LRU stamp); in-flight
-	// sweeps keep their own references, so eviction never breaks them.
-	sess            *relatrust.Session
+	// warm records whether the dataset's live tier currently counts
+	// against the warm-session budget; under Options.MaxWarmSessions the
+	// least recently swept dataset is evicted (sessUsed is the LRU stamp)
+	// back to cold state. In-flight sweeps keep their own snapshot
+	// references, so eviction never breaks them.
+	warm            bool
 	sessUsed        int64
 	sweepsStarted   int64
 	sweepsFinished  int64
@@ -255,6 +277,7 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	mux.HandleFunc("PATCH /v1/datasets/{name}/rows", s.handleMutateRows)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -324,10 +347,11 @@ type DatasetInfo struct {
 }
 
 func (d *dataset) info() DatasetInfo {
+	in := d.live.Rows()
 	return DatasetInfo{
 		Name:       d.name,
-		Tuples:     d.in.N(),
-		Attributes: d.in.Schema.Names(),
+		Tuples:     in.N(),
+		Attributes: in.Schema.Names(),
 	}
 }
 
@@ -338,7 +362,7 @@ func (d *dataset) info() DatasetInfo {
 // not be mutated afterwards — the dataset's shared session aliases it for
 // its whole lifetime. A name collision reports ErrDatasetExists.
 func (s *Server) Register(name string, in *relatrust.Instance) (DatasetInfo, error) {
-	info, err := s.register(name, in)
+	info, err := s.register(name, in, 0)
 	if err != nil {
 		return DatasetInfo{}, err
 	}
@@ -356,14 +380,16 @@ func (s *Server) Register(name string, in *relatrust.Instance) (DatasetInfo, err
 }
 
 // register inserts into the in-memory registry only (the rehydration path,
-// and the first half of Register).
-func (s *Server) register(name string, in *relatrust.Instance) (DatasetInfo, error) {
+// and the first half of Register). generation seeds the live tier: fresh
+// registrations start at 0, rehydration passes the persisted value so job
+// generation checks survive restarts.
+func (s *Server) register(name string, in *relatrust.Instance, generation int64) (DatasetInfo, error) {
 	if err := validateDatasetName(name); err != nil {
 		return DatasetInfo{}, err
 	}
 	d := &dataset{
 		name: name,
-		in:   in,
+		live: relatrust.NewLiveDatasetAt(in, generation),
 		sem:  make(chan struct{}, s.opt.MaxSweepsPerDataset),
 	}
 	s.mu.Lock()
@@ -390,7 +416,16 @@ func (s *Server) Rehydrate() (int, error) {
 	}
 	n := 0
 	for _, d := range loaded {
-		if _, err := s.register(d.Name, d.Instance); err != nil {
+		// The generation sidecar is written before the snapshot on every
+		// mutation, so the loaded pair is never older than its label; a
+		// missing sidecar reads as generation 0 (never mutated).
+		gen, err := s.opt.Store.LoadGeneration(d.Name)
+		if err != nil {
+			s.log.Warn("server: unreadable generation sidecar; treating dataset as fresh",
+				"name", d.Name, "err", err)
+			gen = 0
+		}
+		if _, err := s.register(d.Name, d.Instance, gen); err != nil {
 			s.log.Warn("server: skipping persisted dataset", "name", d.Name, "err", err)
 			continue
 		}
@@ -404,8 +439,9 @@ func validateDatasetName(name string) error {
 	// store's (names become file stems there), so a dataset never
 	// registers in memory but fails to persist on a name technicality.
 	if name == "" || len(name) > 128 || strings.ContainsAny(name, "/\\\x00 \t\n") ||
-		strings.HasPrefix(name, ".") || strings.Contains(name, ".snap") {
-		return fmt.Errorf("server: invalid dataset name %q (non-empty, ≤128 chars, no spaces, slashes, leading dots, or .snap)", name)
+		strings.HasPrefix(name, ".") || strings.Contains(name, ".snap") ||
+		strings.Contains(name, ".gen") {
+		return fmt.Errorf("server: invalid dataset name %q (non-empty, ≤128 chars, no spaces, slashes, leading dots, .snap, or .gen)", name)
 	}
 	return nil
 }
@@ -490,7 +526,7 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	delete(s.datasets, name)
 	if ok {
 		d.mu.Lock()
-		if d.sess != nil {
+		if d.warm {
 			s.warmCount--
 		}
 		d.mu.Unlock()
@@ -562,34 +598,33 @@ func (s *Server) endSweepSlot(d *dataset) {
 // overloaded with a Retry-After.
 var errOverloaded = errors.New("server: sweep capacity saturated")
 
-// sessionFor returns the dataset's warm session, building it on first use
-// and stamping it most-recently-used. When building pushes the warm count
-// over Options.MaxWarmSessions, the least recently used other session is
-// evicted: its dataset rebuilds (and re-pays the conflict analysis) on its
-// next sweep, while sweeps already holding the evicted session keep their
-// references and finish unaffected.
-func (s *Server) sessionFor(d *dataset) *relatrust.Session {
+// snapshotFor pins the dataset's current (instance, session, generation)
+// triple for one sweep, marking the dataset warm and most-recently-used.
+// The triple is immutable: the sweep finishes against it no matter how
+// many mutation batches commit behind it. When warming pushes the count
+// over Options.MaxWarmSessions, the least recently used other dataset is
+// evicted: it re-pays the conflict analysis on its next sweep, while
+// sweeps already holding its snapshots keep their references and finish
+// unaffected.
+func (s *Server) snapshotFor(d *dataset) (*relatrust.Instance, *relatrust.Session, int64) {
 	s.warmMu.Lock()
 	defer s.warmMu.Unlock()
 	d.mu.Lock()
-	created := false
-	if d.sess == nil {
-		d.sess = relatrust.NewSession(d.in)
-		created = true
-	}
+	created := !d.warm
+	d.warm = true
 	s.warmClock++
 	d.sessUsed = s.warmClock
-	sess := d.sess
 	d.mu.Unlock()
+	in, sess, gen := d.live.Snapshot()
 	if created {
 		s.warmCount++
 		s.evictWarmLocked(d)
 	}
-	return sess
+	return in, sess, gen
 }
 
 // evictWarmLocked enforces MaxWarmSessions (warmMu held), never evicting
-// the session just touched.
+// the dataset just touched.
 func (s *Server) evictWarmLocked(keep *dataset) {
 	max := s.opt.MaxWarmSessions
 	if max <= 0 {
@@ -604,7 +639,7 @@ func (s *Server) evictWarmLocked(keep *dataset) {
 				continue
 			}
 			d.mu.Lock()
-			if d.sess != nil && (victim == nil || d.sessUsed < victimUsed) {
+			if d.warm && (victim == nil || d.sessUsed < victimUsed) {
 				victim, victimUsed = d, d.sessUsed
 			}
 			d.mu.Unlock()
@@ -614,8 +649,9 @@ func (s *Server) evictWarmLocked(keep *dataset) {
 			return
 		}
 		victim.mu.Lock()
-		victim.sess = nil
+		victim.warm = false
 		victim.mu.Unlock()
+		victim.live.Evict()
 		s.warmCount--
 		s.sessionsEvicted.Add(1)
 	}
@@ -705,6 +741,13 @@ type DatasetStatz struct {
 	// acquires far above builds.
 	SessionAcquires int64 `json:"session_acquires"`
 	SessionBuilds   int64 `json:"session_builds"`
+	// Generation is the dataset's current mutation generation;
+	// MutationsApplied and ComponentsDirtied are the live tier's lifetime
+	// counters (ops that changed rows, and conflict components whose
+	// memoized cover state a batch invalidated).
+	Generation        int64 `json:"generation"`
+	MutationsApplied  int64 `json:"mutations_applied"`
+	ComponentsDirtied int64 `json:"components_dirtied"`
 }
 
 // StoreStatz is the snapshot-store block of GET /statz (present only when
@@ -794,7 +837,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 
 func (d *dataset) statz() DatasetStatz {
 	d.mu.Lock()
-	sess := d.sess
+	warm := d.warm
 	st := DatasetStatz{
 		DatasetInfo:           d.info(),
 		ActiveSweeps:          len(d.sem),
@@ -810,10 +853,15 @@ func (d *dataset) statz() DatasetStatz {
 		ComponentsParallel:    d.lastComponentsParallel,
 	}
 	d.mu.Unlock()
-	// A cold dataset (no sweep yet, or its session was evicted) reports
+	lst := d.live.Stats()
+	st.Generation = d.live.Generation()
+	st.MutationsApplied = lst.MutationsApplied
+	st.ComponentsDirtied = lst.ComponentsDirtied
+	// A cold dataset (no sweep yet, or its warm state was evicted) reports
 	// zero session counters; the lifetime eviction count lives at the top
 	// level.
-	if sess != nil {
+	if warm {
+		_, sess, _ := d.live.Snapshot()
 		ss := sess.Stats()
 		st.SessionAcquires = ss.Acquires
 		st.SessionBuilds = ss.Builds

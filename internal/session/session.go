@@ -50,6 +50,14 @@ type Engine struct {
 	// engine is in use.
 	In *relation.Instance
 
+	// generation identifies which version of a live dataset this engine is
+	// bound to. Engines are immutable in this respect: a mutation batch
+	// builds a NEW engine over the new instance (seeded with spliced roots
+	// via NewSeeded), so every analysis an engine ever hands out — including
+	// re-acquires during an in-flight sweep's materialization — answers for
+	// one consistent snapshot. 0 for engines outside the live tier.
+	generation int64
+
 	mu       sync.Mutex
 	roots    []rootEntry
 	acquires int64
@@ -74,6 +82,60 @@ type rootEntry struct {
 // New returns an engine over the instance.
 func New(in *relation.Instance) *Engine {
 	return &Engine{In: in}
+}
+
+// NewAt returns an engine over the instance pinned to a mutation
+// generation (see Generation).
+func NewAt(in *relation.Instance, generation int64) *Engine {
+	return &Engine{In: in, generation: generation}
+}
+
+// Generation returns the mutation generation the engine's instance
+// represents; 0 outside the live tier.
+func (e *Engine) Generation() int64 { return e.generation }
+
+// Root is one exported unfiltered root: the FD set it answers for, its
+// root analysis, and its component evaluator (nil if never requested).
+// The live tier exports a generation's roots, splices their clusters and
+// evaluators against a mutation batch, and seeds the next generation's
+// engine with the results.
+type Root struct {
+	Sigma     fd.Set
+	Analysis  *conflict.Analysis
+	Evaluator *components.Evaluator
+}
+
+// ExportRoots returns the engine's unfiltered roots. Filtered (CFD) roots
+// are omitted — their filters are opaque, so a successor engine rebuilds
+// them on demand. The returned analyses and evaluators are the cached
+// originals: callers must treat them as read-only.
+func (e *Engine) ExportRoots() []Root {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []Root
+	for i := range e.roots {
+		r := &e.roots[i]
+		if r.filterKey == "" {
+			out = append(out, Root{Sigma: r.sigma, Analysis: r.root, Evaluator: r.decomp})
+		}
+	}
+	return out
+}
+
+// NewSeeded returns an engine over the instance at the given generation
+// whose root cache is pre-populated: each seed's analysis (and evaluator,
+// when non-nil) is installed as the cached root for its FD set, exactly as
+// if the engine had built it. Seeds must be built over the same instance.
+func NewSeeded(in *relation.Instance, generation int64, seeds []Root) *Engine {
+	e := &Engine{In: in, generation: generation}
+	for _, s := range seeds {
+		e.roots = append(e.roots, rootEntry{
+			sigma:  s.Sigma.Clone(),
+			root:   s.Analysis,
+			decomp: s.Evaluator,
+		})
+	}
+	return e
 }
 
 // For returns eng unchanged when non-nil, or a fresh single-use engine

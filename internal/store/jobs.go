@@ -67,6 +67,9 @@ type JobRecord struct {
 	Seed    int64  `json:"seed,omitempty"`
 	// IncludeChanges is part of the address: it changes the row bytes.
 	IncludeChanges bool `json:"include_changes,omitempty"`
+	// Generation is the dataset's mutation generation the job answers
+	// for; a mismatch at recovery fails the job instead of resuming it.
+	Generation int64 `json:"generation,omitempty"`
 
 	State        string `json:"state"`
 	ErrorCode    string `json:"error_code,omitempty"`

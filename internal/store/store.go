@@ -43,6 +43,8 @@ import (
 const (
 	snapExt    = ".snap"
 	corruptExt = ".corrupt"
+	// genExt is the generation sidecar suffix (see SaveGeneration).
+	genExt = ".gen"
 )
 
 // Options tunes a Store.
@@ -122,6 +124,8 @@ func validName(name string) error {
 		return fmt.Errorf("store: invalid dataset name %q (no path separators or leading dots)", name)
 	case strings.Contains(name, snapExt):
 		return fmt.Errorf("store: invalid dataset name %q (reserved suffix %s)", name, snapExt)
+	case strings.Contains(name, genExt):
+		return fmt.Errorf("store: invalid dataset name %q (reserved suffix %s)", name, genExt)
 	}
 	return nil
 }
@@ -224,14 +228,81 @@ func loadMapped(path string) (*relation.Instance, error) {
 	return relation.ReadSnapshotBytes(b)
 }
 
-// Delete removes the snapshot of the name. Deleting a dataset that has no
-// snapshot is not an error (idempotent).
+// genPath is the generation sidecar of a dataset: a small text file next
+// to the snapshot holding the live mutation generation the snapshot
+// represents.
+func (s *Store) genPath(name string) string {
+	return filepath.Join(s.dir, name+genExt)
+}
+
+// SaveGeneration persists the dataset's mutation generation, atomically
+// (temp + fsync + rename) like Save. The serving layer writes it BEFORE
+// the mutated snapshot: if a crash separates the two writes, the
+// directory claims a newer generation than its rows — which at worst
+// costs a redundant fresh sweep — instead of serving mutated rows under
+// the pre-mutation generation, which would let generation-addressed job
+// results answer for the wrong data.
+func (s *Store) SaveGeneration(name string, gen int64) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: saving generation of %q: %w", name, err)
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: saving generation of %q: %w", name, err)
+	}
+	if _, err := fmt.Fprintf(tmp, "%d\n", gen); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), s.genPath(name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: saving generation of %q: %w", name, err)
+	}
+	return nil
+}
+
+// LoadGeneration reads the dataset's persisted mutation generation. A
+// missing sidecar is generation 0 (never mutated, or persisted before the
+// live tier existed), not an error; an unreadable one is.
+func (s *Store) LoadGeneration(name string) (int64, error) {
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	b, err := os.ReadFile(s.genPath(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: loading generation of %q: %w", name, err)
+	}
+	var gen int64
+	if _, err := fmt.Sscanf(string(b), "%d", &gen); err != nil || gen < 0 {
+		return 0, fmt.Errorf("store: generation sidecar of %q is malformed: %q", name, b)
+	}
+	return gen, nil
+}
+
+// Delete removes the snapshot of the name and its generation sidecar.
+// Deleting a dataset that has no snapshot is not an error (idempotent).
 func (s *Store) Delete(name string) error {
 	if err := validName(name); err != nil {
 		return err
 	}
 	if err := os.Remove(s.path(name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: deleting %q: %w", name, err)
+	}
+	if err := os.Remove(s.genPath(name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: deleting generation of %q: %w", name, err)
 	}
 	return nil
 }

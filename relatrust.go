@@ -142,6 +142,10 @@ func NewSchema(names ...string) (*Schema, error) { return relation.NewSchema(nam
 // NewInstance returns an empty instance of the schema.
 func NewInstance(s *Schema) *Instance { return relation.NewInstance(s) }
 
+// Const returns a constant cell value — the building block of RowOp
+// tuples submitted to a LiveDataset.
+func Const(s string) Value { return relation.Const(s) }
+
 // ReadCSV parses a header-first CSV stream into an instance.
 func ReadCSV(r io.Reader) (*Instance, error) { return relation.ReadCSV(r) }
 
@@ -226,6 +230,11 @@ type Options struct {
 	// Callbacks run synchronously on the sweeping goroutine and must be
 	// fast; they must not call back into the Repairer.
 	Progress func(ProgressEvent)
+	// Generation stamps every ProgressEvent with the mutation generation of
+	// the dataset snapshot the sweep answers for. 0 defers to the session
+	// engine's own generation, which LiveDataset.Snapshot sessions carry —
+	// so sweeps over a live snapshot report their generation automatically.
+	Generation int64
 }
 
 func (o Options) config(in *Instance) repair.Config {
@@ -242,9 +251,10 @@ func (o Options) config(in *Instance) repair.Config {
 			NoPartitionCache: o.NoPartitionCache,
 			NoDecomposition:  o.NoDecomposition,
 		},
-		Seed:     o.Seed,
-		Engine:   o.engine(),
-		Progress: o.Progress,
+		Seed:       o.Seed,
+		Engine:     o.engine(),
+		Progress:   o.Progress,
+		Generation: o.Generation,
 	}
 }
 
