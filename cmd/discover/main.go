@@ -1,7 +1,8 @@
 // Command discover mines functional dependencies from a CSV file, exactly
 // or approximately — the workflow the paper's Section 1 motivates ("FDs
 // that were automatically discovered from legacy data may be less
-// reliable"), and the setup step of its experiments.
+// reliable"), and the setup step of its experiments. The same miner is
+// served over HTTP as POST /v1/discover by relatrustd.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"relatrust/internal/discovery"
@@ -20,23 +22,27 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "discover:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("discover", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataPath = flag.String("data", "", "CSV file (header row defines the schema)")
-		maxLHS   = flag.Int("max-lhs", 2, "largest LHS size to explore")
-		maxErr   = flag.Float64("max-error", 0, "tolerated fraction of violating tuples (0 = exact FDs)")
-		attrs    = flag.String("attrs", "", "comma-separated attribute subset to mine (default: all)")
-		maxOut   = flag.Int("max", 0, "stop after this many FDs (0 = unlimited; exact mode only)")
+		dataPath = fs.String("data", "", "CSV file (header row defines the schema)")
+		maxLHS   = fs.Int("max-lhs", 2, "largest LHS size to explore")
+		maxErr   = fs.Float64("max-error", 0, "tolerated fraction of violating tuples (0 = exact FDs)")
+		attrs    = fs.String("attrs", "", "comma-separated attribute subset to mine (default: all)")
+		maxOut   = fs.Int("max", 0, "stop after this many FDs (0 = unlimited)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *dataPath == "" {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("-data is required")
 	}
 	in, err := relation.ReadCSVFile(*dataPath)
@@ -50,28 +56,35 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("%d tuples × %d attributes\n", in.N(), in.Schema.Width())
+	fmt.Fprintf(stdout, "%d tuples × %d attributes\n", in.N(), in.Schema.Width())
 
 	if *maxErr > 0 {
-		found := discovery.DiscoverApprox(in, discovery.ApproxOptions{
-			MaxError: *maxErr,
-			MaxLHS:   *maxLHS,
-			Attrs:    restrict,
+		found, err := discovery.DiscoverApprox(in, discovery.ApproxOptions{
+			MaxError:   *maxErr,
+			MaxLHS:     *maxLHS,
+			MaxResults: *maxOut,
+			Attrs:      restrict,
 		})
-		fmt.Printf("%d approximate FDs (error ≤ %.1f%%):\n", len(found), 100**maxErr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%d approximate FDs (error ≤ %.1f%%):\n", len(found), 100**maxErr)
 		for _, f := range found {
-			fmt.Printf("  %-50s error %.2f%%\n", f.FD.Format(in.Schema), 100*f.Error)
+			fmt.Fprintf(stdout, "  %-50s error %.2f%%\n", f.FD.Format(in.Schema), 100*f.Error)
 		}
 		return nil
 	}
-	found := discovery.Discover(in, discovery.Options{
+	found, err := discovery.Discover(in, discovery.Options{
 		MaxLHS:     *maxLHS,
 		MaxResults: *maxOut,
 		Attrs:      restrict,
 	})
-	fmt.Printf("%d minimal exact FDs:\n", len(found))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%d minimal exact FDs:\n", len(found))
 	for _, f := range found {
-		fmt.Printf("  %s\n", f.Format(in.Schema))
+		fmt.Fprintf(stdout, "  %s\n", f.Format(in.Schema))
 	}
 	return nil
 }

@@ -9,10 +9,14 @@
 // -data-dir, registered datasets persist as columnar snapshots in that
 // directory and are rehydrated on the next boot, so a crash or restart
 // loses no uploads (corrupt snapshots are quarantined, never fatal); a
-// preload whose name a persisted dataset already holds is skipped. See
-// package relatrust/internal/server for the endpoint, streaming, and
-// cancellation model, and the README for curl examples and operations
-// notes.
+// preload whose name a persisted dataset already holds is skipped.
+// Datasets uploaded with no rules can have their FDs mined server-side:
+// POST /v1/discover streams each discovered FD (and, in
+// discover_then_repair mode, the frontier sweep over the mined set),
+// and POST /v1/jobs/discover runs a mine as a durable, resumable job.
+// See package relatrust/internal/server for the endpoint, streaming,
+// and cancellation model, and the README for curl examples and
+// operations notes.
 //
 // SIGINT/SIGTERM shut the server down gracefully: the server first stops
 // admitting new sweeps (503 shutting_down), in-flight streams get the

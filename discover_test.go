@@ -1,0 +1,202 @@
+package relatrust_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"relatrust"
+)
+
+const peopleCSV = `Name,Dept,Floor,Phone
+ann,eng,3,111
+bob,eng,3,222
+cam,ops,5,333
+dee,ops,5,444
+eli,eng,3,555
+`
+
+func loadPeople(t *testing.T) *relatrust.Instance {
+	t.Helper()
+	in, err := relatrust.ReadCSV(strings.NewReader(peopleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestFacadeDiscoverFindsDeptFloor(t *testing.T) {
+	in := loadPeople(t)
+	d, err := relatrust.NewDiscoverer(in, relatrust.DiscoverOptions{MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := d.Discover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasDeptFloor bool
+	for _, f := range found {
+		if f.FD.LHS == relatrust.NewAttrSet(1) && f.FD.RHS == 2 {
+			hasDeptFloor = true
+			if f.Error != 0 {
+				t.Errorf("exact FD reported error %v", f.Error)
+			}
+		}
+	}
+	if !hasDeptFloor {
+		t.Fatalf("Dept->Floor not discovered: %v", relatrust.Sigma(found).Format(in.Schema))
+	}
+	// Sigma bridges into the repair facade without further conversion.
+	if !relatrust.Satisfies(in, relatrust.Sigma(found)) {
+		t.Fatal("discovered FDs do not hold on their own instance")
+	}
+}
+
+func TestFacadeDiscoverStreamMatchesBatch(t *testing.T) {
+	in := loadPeople(t)
+	sess := relatrust.NewSession(in)
+	d, err := relatrust.NewDiscoverer(in, relatrust.DiscoverOptions{MaxLHS: 2, Session: sess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []relatrust.DiscoveredFD
+	for f, err := range d.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, f)
+	}
+	batch, err := d.Discover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("stream yielded %d FDs, batch %d", len(streamed), len(batch))
+	}
+	// Batch is sorted; the stream is in mining order — same set.
+	seen := map[string]bool{}
+	for _, f := range streamed {
+		seen[f.FD.String()] = true
+	}
+	for _, f := range batch {
+		if !seen[f.FD.String()] {
+			t.Fatalf("batch FD %v missing from stream", f.FD)
+		}
+	}
+}
+
+func TestFacadeDiscoverStreamEarlyBreak(t *testing.T) {
+	in := loadPeople(t)
+	d, err := relatrust.NewDiscoverer(in, relatrust.DiscoverOptions{MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, err := range d.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+		break
+	}
+	if got != 1 {
+		t.Fatalf("yielded %d after break", got)
+	}
+}
+
+func TestFacadeDiscoverStructuredErrors(t *testing.T) {
+	in := loadPeople(t)
+
+	empty, err := relatrust.ReadCSV(strings.NewReader("A,B\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := relatrust.NewDiscoverer(empty, relatrust.DiscoverOptions{}); !errors.Is(err, relatrust.ErrEmptyInstance) {
+		t.Fatalf("empty instance: err = %v, want ErrEmptyInstance", err)
+	}
+
+	var rangeErr *relatrust.AttrsRangeError
+	if _, err := relatrust.NewDiscoverer(in, relatrust.DiscoverOptions{Attrs: relatrust.NewAttrSet(0, 9)}); !errors.As(err, &rangeErr) {
+		t.Fatalf("out-of-range attrs: err = %v, want *AttrsRangeError", err)
+	}
+	if rangeErr.Attr != 9 || rangeErr.Width != 4 {
+		t.Fatalf("AttrsRangeError = %+v", rangeErr)
+	}
+
+	if _, err := relatrust.NewDiscoverer(in, relatrust.DiscoverOptions{MaxError: -0.5}); err == nil {
+		t.Fatal("negative MaxError accepted")
+	}
+
+	other := loadPeople(t)
+	if _, err := relatrust.NewDiscoverer(in, relatrust.DiscoverOptions{Session: relatrust.NewSession(other)}); err == nil {
+		t.Fatal("session over a different instance accepted")
+	}
+
+	// Cancellation surfaces the cause as the final yield.
+	d, err := relatrust.NewDiscoverer(in, relatrust.DiscoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("gone away")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	var last error
+	for _, err := range d.Stream(ctx) {
+		last = err
+	}
+	if !errors.Is(last, cause) {
+		t.Fatalf("cancelled stream: err = %v, want the cause", last)
+	}
+}
+
+func TestFacadeDiscoverSessionReuse(t *testing.T) {
+	in := loadPeople(t)
+	sess := relatrust.NewSession(in)
+	mine := func() []relatrust.DiscoveredFD {
+		d, err := relatrust.NewDiscoverer(in, relatrust.DiscoverOptions{MaxLHS: 2, Session: sess})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := d.Discover(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first, second := mine(), mine()
+	if len(first) != len(second) {
+		t.Fatalf("warm run found %d FDs, cold %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("entry %d differs across shared-session runs: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestFacadeDiscoverMaxResults(t *testing.T) {
+	in := loadPeople(t)
+	d, err := relatrust.NewDiscoverer(in, relatrust.DiscoverOptions{MaxLHS: 2, MaxResults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := d.Discover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("batch yielded %d FDs, want 2", len(batch))
+	}
+	streamed := 0
+	for _, err := range d.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed++
+	}
+	if streamed != 2 {
+		t.Fatalf("stream yielded %d FDs, want 2", streamed)
+	}
+}

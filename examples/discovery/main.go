@@ -31,10 +31,13 @@ func main() {
 	}
 
 	// Step 1: discover minimal FDs from the clean instance.
-	found := discovery.Discover(clean, discovery.Options{
+	found, err := discovery.Discover(clean, discovery.Options{
 		MaxLHS: 2,
 		Attrs:  relation.NewAttrSet(0, 1, 2, 3, 7),
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("discovered minimal FDs (LHS ≤ 2, over 5 of the attributes):")
 	for _, f := range found {
 		fmt.Printf("  %s\n", f.Format(spec.Schema))

@@ -91,7 +91,10 @@ func TestPipelineDiscoveryToRepair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	found := discovery.Discover(clean, discovery.Options{MaxLHS: 2, Attrs: relation.NewAttrSet(0, 1, 6)})
+	found, err := discovery.Discover(clean, discovery.Options{MaxLHS: 2, Attrs: relation.NewAttrSet(0, 1, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var target *fd.FD
 	for i := range found {
 		if found[i].RHS == 6 {

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"sort"
 
 	"relatrust/internal/fd"
@@ -14,8 +15,25 @@ type ApproxOptions struct {
 	MaxError float64
 	// MaxLHS is the largest LHS size to explore. Default 3.
 	MaxLHS int
+	// MaxResults stops early after this many FDs (0 = unlimited), same
+	// early-return-sorted contract as Discover: the first MaxResults
+	// dependencies in mining order, sorted.
+	MaxResults int
 	// Attrs restricts discovery to a subset of attributes (empty = all).
 	Attrs relation.AttrSet
+}
+
+func (o ApproxOptions) withDefaults(width int) (ApproxOptions, error) {
+	if err := ValidateAttrs(o.Attrs, width); err != nil {
+		return o, err
+	}
+	if o.MaxLHS <= 0 {
+		o.MaxLHS = 3
+	}
+	if o.Attrs.IsEmpty() {
+		o.Attrs = relation.FullSet(width)
+	}
+	return o, nil
 }
 
 // ApproxFD is a discovered approximate dependency with its error.
@@ -32,57 +50,34 @@ type ApproxFD struct {
 // already satisfies it. This substrate supports workflows that start from
 // almost-holding FDs rather than exact ones — exactly the "FDs that were
 // automatically discovered from legacy data" scenario of Section 1.
-func DiscoverApprox(in *relation.Instance, opt ApproxOptions) []ApproxFD {
-	if opt.MaxLHS <= 0 {
-		opt.MaxLHS = 3
-	}
-	if opt.Attrs.IsEmpty() {
-		opt.Attrs = relation.FullSet(in.Schema.Width())
+//
+// The g3 error of each candidate is computed by splitting the cached
+// stripped π(X) classes, not by repartitioning the instance per candidate;
+// an oracle test pins the results byte-equal to the Error() reference.
+// An empty instance returns nil. An Attrs set referencing a column
+// outside the schema returns an *AttrsRangeError.
+func DiscoverApprox(in *relation.Instance, opt ApproxOptions) ([]ApproxFD, error) {
+	opt, err := opt.withDefaults(in.Schema.Width())
+	if err != nil {
+		return nil, err
 	}
 	if in.N() == 0 {
-		return nil
+		return nil, nil
 	}
-	attrs := opt.Attrs.Attrs()
-	n := float64(in.N())
-
 	var out []ApproxFD
-	found := make(map[int][]relation.AttrSet)
-
-	level := make([]relation.AttrSet, 0, len(attrs))
-	for _, a := range attrs {
-		level = append(level, relation.NewAttrSet(a))
-	}
-	for size := 1; size <= opt.MaxLHS && len(level) > 0; size++ {
-		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
-		for _, x := range level {
-			for _, a := range attrs {
-				if x.Contains(a) || hasSubsetLHS(found[a], x) {
-					continue
-				}
-				f := fd.FD{LHS: x, RHS: a}
-				errFrac := float64(Error(in, f)) / n
-				if errFrac <= opt.MaxError {
-					found[a] = append(found[a], x)
-					out = append(out, ApproxFD{FD: f, Error: errFrac})
-				}
-			}
+	serr := Stream(context.Background(), in, StreamOptions{
+		MaxLHS:   opt.MaxLHS,
+		MaxError: opt.MaxError,
+		Attrs:    opt.Attrs,
+	}, func(f Found) error {
+		out = append(out, ApproxFD{FD: f.FD, Error: f.Error})
+		if opt.MaxResults > 0 && len(out) >= opt.MaxResults {
+			return errStopDiscover
 		}
-		if size < opt.MaxLHS {
-			next := make(map[relation.AttrSet]bool)
-			for _, x := range level {
-				for _, a := range attrs {
-					if !x.Contains(a) {
-						next[x.Add(a)] = true
-					}
-				}
-			}
-			level = level[:0]
-			for x := range next {
-				level = append(level, x)
-			}
-		} else {
-			level = nil
-		}
+		return nil
+	})
+	if serr != nil && serr != errStopDiscover {
+		return nil, serr
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].FD.RHS != out[j].FD.RHS {
@@ -93,5 +88,5 @@ func DiscoverApprox(in *relation.Instance, opt ApproxOptions) []ApproxFD {
 		}
 		return out[i].FD.LHS < out[j].FD.LHS
 	})
-	return out
+	return out, nil
 }

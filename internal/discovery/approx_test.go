@@ -13,8 +13,8 @@ func TestDiscoverApproxIncludesExact(t *testing.T) {
 	in := testkit.Build([]string{"A", "B", "C"}, [][]string{
 		{"1", "x", "p"}, {"1", "x", "q"}, {"2", "y", "p"},
 	})
-	approx := DiscoverApprox(in, ApproxOptions{MaxError: 0, MaxLHS: 2})
-	exact := Discover(in, Options{MaxLHS: 2})
+	approx := mustDiscoverApprox(t, in, ApproxOptions{MaxError: 0, MaxLHS: 2})
+	exact := mustDiscover(t, in, Options{MaxLHS: 2})
 	if len(approx) != len(exact) {
 		t.Fatalf("zero-error approximate discovery found %d, exact found %d", len(approx), len(exact))
 	}
@@ -37,13 +37,13 @@ func TestDiscoverApproxToleratesNoise(t *testing.T) {
 	rows = append(rows, []string{"k", "ODD", "z"})
 	in := testkit.Build([]string{"A", "B", "C"}, rows)
 
-	strict := DiscoverApprox(in, ApproxOptions{MaxError: 0, MaxLHS: 1, Attrs: relation.NewAttrSet(0, 1)})
+	strict := mustDiscoverApprox(t, in, ApproxOptions{MaxError: 0, MaxLHS: 1, Attrs: relation.NewAttrSet(0, 1)})
 	for _, f := range strict {
 		if f.FD.Equal(fd.MustNew(relation.NewAttrSet(0), 1)) {
 			t.Fatal("A->B does not hold exactly")
 		}
 	}
-	loose := DiscoverApprox(in, ApproxOptions{MaxError: 0.15, MaxLHS: 1, Attrs: relation.NewAttrSet(0, 1)})
+	loose := mustDiscoverApprox(t, in, ApproxOptions{MaxError: 0.15, MaxLHS: 1, Attrs: relation.NewAttrSet(0, 1)})
 	found := false
 	for _, f := range loose {
 		if f.FD.Equal(fd.MustNew(relation.NewAttrSet(0), 1)) {
@@ -62,7 +62,7 @@ func TestDiscoverApproxMinimality(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 15; trial++ {
 		in := testkit.RandomInstance(rng, 12, 4, 2)
-		res := DiscoverApprox(in, ApproxOptions{MaxError: 0.2, MaxLHS: 3})
+		res := mustDiscoverApprox(t, in, ApproxOptions{MaxError: 0.2, MaxLHS: 3})
 		seen := map[string]float64{}
 		for _, f := range res {
 			seen[f.FD.String()] = f.Error
@@ -86,7 +86,20 @@ func TestDiscoverApproxMinimality(t *testing.T) {
 
 func TestDiscoverApproxEmptyInstance(t *testing.T) {
 	in := relation.NewInstance(relation.MustSchema("A", "B"))
-	if got := DiscoverApprox(in, ApproxOptions{MaxError: 0.5}); got != nil {
+	got, err := DiscoverApprox(in, ApproxOptions{MaxError: 0.5})
+	if err != nil {
+		t.Fatalf("DiscoverApprox: %v", err)
+	}
+	if got != nil {
 		t.Errorf("empty instance should yield nil, got %v", got)
 	}
+}
+
+func mustDiscoverApprox(t *testing.T, in *relation.Instance, opt ApproxOptions) []ApproxFD {
+	t.Helper()
+	res, err := DiscoverApprox(in, opt)
+	if err != nil {
+		t.Fatalf("DiscoverApprox: %v", err)
+	}
+	return res
 }

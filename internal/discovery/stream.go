@@ -1,0 +1,270 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"relatrust/internal/fd"
+	"relatrust/internal/relation"
+)
+
+// AttrsRangeError reports an Options.Attrs bit that falls outside the
+// instance schema — the served-input hazard that used to panic inside
+// Partitioner.col. The server maps it to 422 schema_mismatch.
+type AttrsRangeError struct {
+	Attr  int // the offending attribute index (the set's highest bit)
+	Width int // the schema width it exceeds
+}
+
+func (e *AttrsRangeError) Error() string {
+	return fmt.Sprintf("discovery: attrs references column %d but the schema has %d columns", e.Attr, e.Width)
+}
+
+// ValidateAttrs checks an Attrs restriction against a schema width,
+// returning an *AttrsRangeError when the set references a column the
+// schema does not have. Every discovery entry point applies it; callers
+// that need to reject bad input before starting a run (the facade, the
+// server) can call it directly.
+func ValidateAttrs(attrs relation.AttrSet, width int) error {
+	if !attrs.IsEmpty() && attrs.Max() >= width {
+		return &AttrsRangeError{Attr: attrs.Max(), Width: width}
+	}
+	return nil
+}
+
+// Found is one discovered dependency, reported in mining order.
+type Found struct {
+	FD    fd.FD
+	Error float64 // g3 fraction (0 for exact FDs)
+	Level int     // LHS size, the lattice level that produced it
+}
+
+// StreamOptions bounds a Stream run. The zero value mines exact FDs over
+// all attributes up to the default MaxLHS with a private partition store.
+type StreamOptions struct {
+	// MaxLHS is the largest LHS size to explore. Default 3.
+	MaxLHS int
+	// MaxError is the largest tolerated g3 error fraction (0 = exact FDs).
+	MaxError float64
+	// Attrs restricts discovery to a subset of attributes (empty = all).
+	Attrs relation.AttrSet
+	// Store supplies stripped partitions and caches the ones this run
+	// computes; nil uses a run-private store. A session-shared store lets
+	// repeated mining passes over a warm dataset skip level-1 partitions.
+	Store *relation.PartitionStore
+	// Progress, if set, is called at the start of each lattice level with
+	// the level (LHS size) and the number of candidate LHS sets in it.
+	Progress func(level, sets int)
+}
+
+// Stream mines minimal FDs level by level and hands each to emit as it is
+// found — the core every entry point (batch Discover/DiscoverApprox, the
+// relatrust.Discoverer facade, POST /v1/discover) shares. A non-nil error
+// from emit aborts the run and is returned verbatim; ctx cancellation is
+// checked once per candidate LHS and returns context.Cause(ctx).
+//
+// Mining order is deterministic: levels ascend, LHS sets ascend within a
+// level, RHS attributes ascend per LHS. Level-k partitions are built by
+// the TANE product of their two level-(k−1) prefix-join parents; g3 is
+// computed by splitting the cached stripped π(X) classes, never by
+// repartitioning the instance. Once level k is scanned, level k−1
+// partitions are evicted from the store (level-1 partitions are retained
+// for reuse across runs), bounding the working set to two lattice levels
+// plus the single-attribute row.
+func Stream(ctx context.Context, in *relation.Instance, opt StreamOptions, emit func(Found) error) error {
+	width := in.Schema.Width()
+	if err := ValidateAttrs(opt.Attrs, width); err != nil {
+		return err
+	}
+	if opt.MaxLHS <= 0 {
+		opt.MaxLHS = 3
+	}
+	if opt.Attrs.IsEmpty() {
+		opt.Attrs = relation.FullSet(width)
+	}
+	store := opt.Store
+	if store == nil {
+		store = relation.NewPartitionStore()
+	}
+	attrs := opt.Attrs.Attrs()
+	p := relation.NewPartitioner(in)
+	n := float64(in.N())
+	// budget is the largest integer g3 count that still passes the
+	// float-fraction test below, so g3Split can stop counting the moment a
+	// candidate is unsalvageable (immediately, in exact mode) without
+	// changing a single accept/reject decision or reported fraction.
+	budget := 0
+	if in.N() > 0 {
+		budget = int(opt.MaxError * n)
+		for float64(budget+1)/n <= opt.MaxError {
+			budget++
+		}
+		for budget > 0 && float64(budget)/n > opt.MaxError {
+			budget--
+		}
+	}
+
+	// found[A] lists the minimal LHS sets discovered so far per RHS, used
+	// to skip supersets (minimality pruning).
+	found := make(map[int][]relation.AttrSet)
+
+	level := make([]relation.AttrSet, 0, len(attrs))
+	for _, a := range attrs {
+		level = append(level, relation.NewAttrSet(a))
+	}
+
+	for size := 1; size <= opt.MaxLHS && len(level) > 0; size++ {
+		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+		if opt.Progress != nil {
+			opt.Progress(size, len(level))
+		}
+		for _, x := range level {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			px := partitionFor(p, store, x)
+			for _, a := range attrs {
+				if x.Contains(a) {
+					continue
+				}
+				if hasSubsetLHS(found[a], x) {
+					continue // a smaller LHS already determines a
+				}
+				g3, ok := g3Split(p, px, a, budget)
+				if ok {
+					frac := 0.0
+					if n > 0 {
+						frac = float64(g3) / n
+					}
+					found[a] = append(found[a], x)
+					if err := emit(Found{FD: fd.MustNew(x, a), Error: frac, Level: size}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if size < opt.MaxLHS {
+			level = prefixJoin(level)
+		} else {
+			level = nil
+		}
+		// Level size−1 partitions were only needed as product parents for
+		// level size; drop them. The single-attribute row stays cached so
+		// the next run over the same store starts warm.
+		if size-1 >= 2 {
+			store.EvictLevel(size - 1)
+		}
+	}
+	return nil
+}
+
+// partitionFor returns the stripped partition of x, preferring the store,
+// then the product of x's two prefix-join parents (for |x| ≥ 2), then a
+// from-scratch refinement. Whatever path ran, the result is owned and
+// cached before returning; all three produce the same classes, so results
+// are deterministic regardless of which partitions the store still holds.
+func partitionFor(p *relation.Partitioner, store *relation.PartitionStore, x relation.AttrSet) relation.Partition {
+	if pt, ok := store.Get(x); ok {
+		return pt
+	}
+	var pt relation.Partition
+	built := false
+	if x.Len() >= 2 {
+		a := x.Remove(x.Max()) // drop the largest attribute
+		b := x.Remove(a.Max()) // drop the second-largest
+		if pa, ok := store.Get(a); ok {
+			if pb, ok := store.Get(b); ok {
+				pt = p.Product(pa, pb)
+				built = true
+			}
+		}
+	}
+	if !built {
+		pt = strippedOf(p, x)
+	}
+	store.Put(x, pt)
+	return pt
+}
+
+// strippedOf computes the stripped partition of x by code-based refinement
+// from the whole tuple set, returning an owned copy safe to cache.
+func strippedOf(p *relation.Partitioner, x relation.AttrSet) relation.Partition {
+	p.BeginAll()
+	p.RefineSet(x)
+	pt := p.Partition()
+	total := 0
+	groups := 0
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		if g := pt.Group(gi); len(g) >= 2 {
+			total += len(g)
+			groups++
+		}
+	}
+	out := relation.Partition{
+		Tuples:  make([]int32, 0, total),
+		Offsets: make([]int32, 1, groups+1),
+	}
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		g := pt.Group(gi)
+		if len(g) < 2 {
+			continue
+		}
+		out.Tuples = append(out.Tuples, g...)
+		out.Offsets = append(out.Offsets, int32(len(out.Tuples)))
+	}
+	return out
+}
+
+// g3Split computes the g3 error of X → a from the cached stripped π(X):
+// for each X-class, the tuples outside the class's plurality a-value.
+// Split reads the column codes directly and never disturbs the partition,
+// so no repartitioning of the instance happens per candidate. Counting
+// stops as soon as the error exceeds budget (false, count invalid) — in
+// exact mining that means bailing at the first class that splits at all.
+func g3Split(p *relation.Partitioner, px relation.Partition, a, budget int) (int, bool) {
+	errs := 0
+	for gi := 0; gi < px.NumGroups(); gi++ {
+		g := px.Group(gi)
+		sp := p.Split(g, a)
+		maxc := 0
+		for si := 0; si < sp.NumGroups(); si++ {
+			if l := len(sp.Group(si)); l > maxc {
+				maxc = l
+			}
+		}
+		errs += len(g) - maxc
+		if errs > budget {
+			return errs, false
+		}
+	}
+	return errs, true
+}
+
+// prefixJoin generates level k+1 from the complete level k: two k-sets
+// sharing all attributes but their largest join into their union, and
+// every (k+1)-set is produced by exactly one such pair — its two
+// partitionFor parents. The scan sorts a copy by (prefix, max) so prefix
+// blocks are contiguous; the caller's level slice keeps its mining order.
+func prefixJoin(level []relation.AttrSet) []relation.AttrSet {
+	byPrefix := append([]relation.AttrSet(nil), level...)
+	sort.Slice(byPrefix, func(i, j int) bool {
+		pi := byPrefix[i].Remove(byPrefix[i].Max())
+		pj := byPrefix[j].Remove(byPrefix[j].Max())
+		if pi != pj {
+			return pi < pj
+		}
+		return byPrefix[i] < byPrefix[j]
+	})
+	var next []relation.AttrSet
+	for i := 0; i < len(byPrefix); i++ {
+		pi := byPrefix[i].Remove(byPrefix[i].Max())
+		for j := i + 1; j < len(byPrefix); j++ {
+			if byPrefix[j].Remove(byPrefix[j].Max()) != pi {
+				break
+			}
+			next = append(next, byPrefix[i].Union(byPrefix[j]))
+		}
+	}
+	return next
+}

@@ -1,16 +1,34 @@
 // Package discovery implements level-wise discovery of minimal functional
 // dependencies from data, in the style of TANE (Huhtala et al., [9] in the
-// paper). The paper's experimental setup uses such a discovery pass to
-// obtain the clean FD set Σc before perturbing it; this package is that
-// substrate.
+// paper). The paper's relative-trust story starts from FDs "automatically
+// discovered from legacy data"; this package is that substrate, serving
+// both the offline CLI and the POST /v1/discover endpoint.
 //
-// The implementation uses stripped partitions: the partition of the tuple
-// set induced by an attribute set X, with singleton equivalence classes
-// removed. X → A holds exactly when the partition of X∪{A} has the same
-// error (number of tuples minus number of classes) as the partition of X.
+// The implementation works on stripped partitions — the partition of the
+// tuple set induced by an attribute set X, with singleton classes removed.
+// X → A holds exactly when refining π(X) by A splits nothing, and its g3
+// error (the minimum number of tuples to ignore for the FD to hold) is the
+// per-class count of tuples outside the plurality A-value. Both facts are
+// read off the stripped form directly.
+//
+// Two TANE techniques keep the lattice walk cheap. Level-k partitions are
+// built by the partition product π(X)·π(Y) of their two level-(k−1)
+// prefix-join parents (relation.Partitioner.Product) instead of refining
+// from scratch, and candidate generation is the matching prefix join.
+// Partitions live in a relation.PartitionStore — shareable across runs via
+// session.Engine — and each level is evicted once the next is built, so
+// peak retention is two lattice levels plus the single-attribute row, not
+// the whole lattice.
+//
+// Stream is the core entry point; Discover and DiscoverApprox are batch
+// wrappers over it that collect and sort. The historical from-scratch
+// helpers (partitionBySet, refineStripped, Error) are retained as the
+// reference implementations the oracle tests pin Stream against.
 package discovery
 
 import (
+	"context"
+	"errors"
 	"sort"
 
 	"relatrust/internal/fd"
@@ -22,110 +40,65 @@ type Options struct {
 	// MaxLHS is the largest LHS size to explore (the paper uses "fewer
 	// than 6 attributes"). Default 3.
 	MaxLHS int
-	// MaxResults stops early after this many FDs (0 = unlimited).
+	// MaxResults stops early after this many FDs (0 = unlimited). The
+	// first MaxResults dependencies in mining order are returned, sorted.
 	MaxResults int
 	// Attrs restricts discovery to a subset of attributes (empty = all).
 	// Useful on wide schemas where the lattice is otherwise huge.
 	Attrs relation.AttrSet
 }
 
-func (o Options) withDefaults(width int) Options {
+func (o Options) withDefaults(width int) (Options, error) {
+	if err := ValidateAttrs(o.Attrs, width); err != nil {
+		return o, err
+	}
 	if o.MaxLHS <= 0 {
 		o.MaxLHS = 3
 	}
 	if o.Attrs.IsEmpty() {
 		o.Attrs = relation.FullSet(width)
 	}
-	return o
+	return o, nil
 }
 
 // stripped is a stripped partition: equivalence classes of size ≥ 2.
 // Classes appear in refinement encounter order (deterministic) and share
-// one backing arena per partition.
+// one backing arena per partition. It remains the representation of the
+// reference helpers below; the streaming miner uses relation.Partition.
 type stripped struct {
 	classes [][]int32
 	err     int // Σ(|class|−1): tuples that would need to merge targets
 }
 
+// errStopDiscover aborts a Stream run from a batch wrapper once
+// MaxResults dependencies have been collected.
+var errStopDiscover = errors.New("discovery: max results reached")
+
 // Discover returns every minimal FD X → A with |X| ≤ MaxLHS that holds
 // exactly on the instance, sorted deterministically. Minimality here is
-// the discovery notion: no proper subset of X determines A.
-func Discover(in *relation.Instance, opt Options) fd.Set {
-	opt = opt.withDefaults(in.Schema.Width())
-	attrs := opt.Attrs.Attrs()
-	p := relation.NewPartitioner(in)
-
-	// Level 1 partitions.
-	parts := make(map[relation.AttrSet]stripped, len(attrs)*4)
-	for _, a := range attrs {
-		parts[relation.NewAttrSet(a)] = partitionBySet(p, relation.NewAttrSet(a))
+// the discovery notion: no proper subset of X determines A. An Attrs set
+// referencing a column outside the schema returns an *AttrsRangeError.
+func Discover(in *relation.Instance, opt Options) (fd.Set, error) {
+	opt, err := opt.withDefaults(in.Schema.Width())
+	if err != nil {
+		return nil, err
 	}
-
 	var out fd.Set
-	// found[A] lists the minimal LHS sets discovered so far per RHS, used
-	// to skip supersets (minimality pruning).
-	found := make(map[int][]relation.AttrSet)
-
-	level := make([]relation.AttrSet, 0, len(attrs))
-	for _, a := range attrs {
-		level = append(level, relation.NewAttrSet(a))
-	}
-
-	for size := 1; size <= opt.MaxLHS && len(level) > 0; size++ {
-		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
-		for _, x := range level {
-			px, ok := parts[x]
-			if !ok {
-				px = partitionBySet(p, x)
-				parts[x] = px
-			}
-			for _, a := range attrs {
-				if x.Contains(a) {
-					continue
-				}
-				if hasSubsetLHS(found[a], x) {
-					continue // a smaller LHS already determines a
-				}
-				xa := x.Add(a)
-				pxa, ok := parts[xa]
-				if !ok {
-					// TANE's key optimization: π(X∪{A}) refines the already
-					// computed π(X) instead of repartitioning the instance.
-					pxa = refineStripped(p, px, a)
-					parts[xa] = pxa
-				}
-				if px.err == pxa.err { // X → A holds exactly
-					found[a] = append(found[a], x)
-					out = append(out, fd.MustNew(x, a))
-					if opt.MaxResults > 0 && len(out) >= opt.MaxResults {
-						sortFDs(out)
-						return out
-					}
-				}
-			}
+	serr := Stream(context.Background(), in, StreamOptions{
+		MaxLHS: opt.MaxLHS,
+		Attrs:  opt.Attrs,
+	}, func(f Found) error {
+		out = append(out, f.FD)
+		if opt.MaxResults > 0 && len(out) >= opt.MaxResults {
+			return errStopDiscover
 		}
-		// Next level: all (size+1)-sets from the allowed attributes. A
-		// prefix-join would be faster; candidate counts at the small
-		// MaxLHS values used here keep this simple form adequate.
-		if size < opt.MaxLHS {
-			next := make(map[relation.AttrSet]bool)
-			for _, x := range level {
-				for _, a := range attrs {
-					if !x.Contains(a) {
-						next[x.Add(a)] = true
-					}
-				}
-			}
-			level = level[:0]
-			for x := range next {
-				level = append(level, x)
-			}
-		} else {
-			level = nil
-		}
+		return nil
+	})
+	if serr != nil && serr != errStopDiscover {
+		return nil, serr
 	}
 	sortFDs(out)
-	return out
+	return out, nil
 }
 
 // Holds reports whether X → A holds exactly on the instance, via the
@@ -140,6 +113,11 @@ func Holds(in *relation.Instance, f fd.FD) bool {
 // Error returns the number of tuples that must be ignored for X → A to
 // hold (the g3-style count used by approximate-FD work): for each X-class,
 // all tuples not in the class's plurality A-value.
+//
+// This is the from-scratch reference: it rebuilds a partitioner and
+// repartitions the instance per call. The miner computes the same count
+// by splitting cached stripped partitions (g3Split); the oracle tests pin
+// the two equal.
 func Error(in *relation.Instance, f fd.FD) int {
 	p := relation.NewPartitioner(in)
 	p.BeginAll()
@@ -164,7 +142,7 @@ func Error(in *relation.Instance, f fd.FD) int {
 }
 
 // partitionBySet computes the stripped partition of X by code-based
-// refinement from the whole tuple set.
+// refinement from the whole tuple set (reference implementation).
 func partitionBySet(p *relation.Partitioner, x relation.AttrSet) stripped {
 	p.BeginAll()
 	p.RefineSet(x)
@@ -193,7 +171,9 @@ func partitionBySet(p *relation.Partitioner, x relation.AttrSet) stripped {
 // refineStripped computes the stripped partition of X∪{a} from the
 // stripped partition of X: each class splits by a's codes, and classes
 // collapsing to singletons drop out. Singleton classes of π(X) never
-// produce multi-tuple classes, so working on the stripped form is exact.
+// produce multi-tuple classes, so working on the stripped form is exact
+// (reference implementation; the miner derives level-k partitions by
+// Product instead).
 func refineStripped(p *relation.Partitioner, parent stripped, a int) stripped {
 	total := 0
 	for _, c := range parent.classes {

@@ -18,7 +18,7 @@ func TestDiscoverSimple(t *testing.T) {
 		{"2", "y", "q"},
 		{"3", "x", "r"},
 	})
-	set := Discover(in, Options{MaxLHS: 2})
+	set := mustDiscover(t, in, Options{MaxLHS: 2})
 	if !contains(set, fd.MustNew(relation.NewAttrSet(0), 1)) {
 		t.Errorf("A->B not discovered: %v", set)
 	}
@@ -41,7 +41,7 @@ func TestDiscoverMinimality(t *testing.T) {
 		{"2", "v", "y"},
 	})
 	// A->C holds; AB->C therefore must not be reported (non-minimal).
-	set := Discover(in, Options{MaxLHS: 2})
+	set := mustDiscover(t, in, Options{MaxLHS: 2})
 	for _, f := range set {
 		if f.RHS == 2 && f.LHS.Len() > 1 && f.LHS.Contains(0) {
 			t.Errorf("non-minimal FD reported: %v", f)
@@ -53,7 +53,7 @@ func TestDiscoverAgainstExhaustiveCheck(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	for trial := 0; trial < 20; trial++ {
 		in := testkit.RandomInstance(rng, 12, 4, 2)
-		set := Discover(in, Options{MaxLHS: 3})
+		set := mustDiscover(t, in, Options{MaxLHS: 3})
 		got := map[string]bool{}
 		for _, f := range set {
 			got[f.String()] = true
@@ -96,7 +96,7 @@ func TestDiscoverRespectsAttrsRestriction(t *testing.T) {
 	in := testkit.Build([]string{"A", "B", "C"}, [][]string{
 		{"1", "x", "1"}, {"2", "y", "2"},
 	})
-	set := Discover(in, Options{MaxLHS: 1, Attrs: relation.NewAttrSet(0, 1)})
+	set := mustDiscover(t, in, Options{MaxLHS: 1, Attrs: relation.NewAttrSet(0, 1)})
 	for _, f := range set {
 		if f.Attrs().Contains(2) {
 			t.Errorf("FD %v uses excluded attribute", f)
@@ -108,7 +108,7 @@ func TestDiscoverMaxResults(t *testing.T) {
 	in := testkit.Build([]string{"A", "B", "C"}, [][]string{
 		{"1", "1", "1"}, {"2", "2", "2"},
 	})
-	set := Discover(in, Options{MaxLHS: 1, MaxResults: 2})
+	set := mustDiscover(t, in, Options{MaxLHS: 1, MaxResults: 2})
 	if len(set) != 2 {
 		t.Errorf("MaxResults ignored: %d", len(set))
 	}
@@ -125,6 +125,15 @@ func TestErrorCount(t *testing.T) {
 	if Holds(in, f) {
 		t.Error("A->B does not hold")
 	}
+}
+
+func mustDiscover(t *testing.T, in *relation.Instance, opt Options) fd.Set {
+	t.Helper()
+	set, err := Discover(in, opt)
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	return set
 }
 
 func contains(set fd.Set, f fd.FD) bool {

@@ -132,7 +132,10 @@ func TestDiscoveryFindsPlantedFD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	found := discovery.Discover(in, discovery.Options{MaxLHS: 2, Attrs: relation.NewAttrSet(0, 1, 5)})
+	found, err := discovery.Discover(in, discovery.Options{MaxLHS: 2, Attrs: relation.NewAttrSet(0, 1, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ok := false
 	for _, g := range found {
 		if g.RHS == 5 && g.LHS.SubsetOf(f.LHS) {

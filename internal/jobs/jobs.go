@@ -109,16 +109,33 @@ type Spec struct {
 	// resubmitted spec runs a fresh sweep instead of replaying answers
 	// computed over rows that no longer exist.
 	Generation int64
+
+	// Kind selects the job body: "" is a frontier sweep (the original job
+	// kind), "discover" an FD-mining run. The discovery knobs below are
+	// part of the address only when Kind is non-empty.
+	Kind       string
+	MaxLHS     int
+	MaxError   float64
+	MaxResults int
+	// Attrs is the canonical comma-separated attribute-name restriction.
+	Attrs string
 }
 
 // ID derives the job id from the spec: a short hex digest with a "j"
 // prefix. Identical specs — including across process restarts — get
-// identical ids; that is what coalescing and boot resume key on.
+// identical ids; that is what coalescing and boot resume key on. The
+// legacy sweep digest (Kind == "") is frozen: a daemon upgraded across
+// this field addition must derive the same id for a persisted sweep job,
+// or boot resume would orphan every record.
 func (sp Spec) ID() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x1f%s\x1f%d\x1f%d\x1f%s\x1f%d\x1f%t\x1f%d",
 		sp.Dataset, sp.FDs, sp.TauLow, sp.TauHigh, sp.Weights, sp.Seed, sp.IncludeChanges,
 		sp.Generation)
+	if sp.Kind != "" {
+		fmt.Fprintf(h, "\x1f%s\x1f%d\x1f%g\x1f%d\x1f%s",
+			sp.Kind, sp.MaxLHS, sp.MaxError, sp.MaxResults, sp.Attrs)
+	}
 	return "j" + hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -502,6 +519,8 @@ func (m *Manager) record(j *Job) store.JobRecord {
 		ID: j.ID, Dataset: j.Dataset, FDs: j.FDs,
 		TauLow: j.TauLow, TauHigh: j.TauHigh, Weights: j.Weights,
 		Seed: j.Seed, IncludeChanges: j.IncludeChanges, Generation: j.Generation,
+		Kind: j.Kind, MaxLHS: j.MaxLHS, MaxError: j.MaxError,
+		MaxResults: j.MaxResults, Attrs: j.Attrs,
 		State: string(j.state), ErrorCode: j.errCode, ErrorMessage: j.errMsg,
 		CreatedUnix: j.createdUnix, UpdatedUnix: m.opt.Now(),
 	}
@@ -644,6 +663,11 @@ func (m *Manager) Recover(start StartFunc) (int, error) {
 				Weights: r.Record.Weights, Seed: r.Record.Seed,
 				IncludeChanges: r.Record.IncludeChanges,
 				Generation:     r.Record.Generation,
+				Kind:           r.Record.Kind,
+				MaxLHS:         r.Record.MaxLHS,
+				MaxError:       r.Record.MaxError,
+				MaxResults:     r.Record.MaxResults,
+				Attrs:          r.Record.Attrs,
 			},
 			ID: r.Record.ID, m: m,
 			state:       State(r.Record.State),

@@ -43,6 +43,48 @@ func testSpec(dataset string) Spec {
 	return Spec{Dataset: dataset, FDs: "A->B", TauLow: 0, TauHigh: -1, Weights: "unit", Seed: 7}
 }
 
+// TestSpecIDStability pins the content address across upgrades. The
+// legacy digest (Kind == "") is frozen: a daemon upgraded across the Kind
+// field addition must derive the same id for a persisted sweep record, or
+// boot resume would orphan every job. The literal below pins that digest
+// — a failure here means the wire-stable hash drifted.
+func TestSpecIDStability(t *testing.T) {
+	legacy := Spec{Dataset: "paper", FDs: "A->B; C->D", TauLow: 0, TauHigh: -1,
+		Weights: "distinct-count", Seed: 9, IncludeChanges: true, Generation: 3}
+	if got := legacy.ID(); got != "j4de424163deefe52" {
+		t.Errorf("legacy spec id = %s, want j4de424163deefe52", got)
+	}
+
+	// Discovery knobs are outside the legacy address: a sweep spec with
+	// stray knob values still derives the legacy id.
+	stray := legacy
+	stray.MaxLHS, stray.MaxError, stray.MaxResults, stray.Attrs = 4, 0.5, 10, "A,B"
+	if got := stray.ID(); got != legacy.ID() {
+		t.Errorf("sweep spec id depends on discovery knobs: %s vs %s", got, legacy.ID())
+	}
+
+	// A non-empty Kind extends the address, and every discovery knob
+	// participates in it.
+	disc := Spec{Dataset: "paper", Generation: 3, Kind: "discover", MaxLHS: 3}
+	if disc.ID() == legacy.ID() {
+		t.Error("discover spec collides with the legacy sweep spec")
+	}
+	seen := map[string]string{disc.ID(): "base"}
+	for name, vary := range map[string]Spec{
+		"max_lhs":     {Dataset: "paper", Generation: 3, Kind: "discover", MaxLHS: 4},
+		"max_error":   {Dataset: "paper", Generation: 3, Kind: "discover", MaxLHS: 3, MaxError: 0.1},
+		"max_results": {Dataset: "paper", Generation: 3, Kind: "discover", MaxLHS: 3, MaxResults: 5},
+		"attrs":       {Dataset: "paper", Generation: 3, Kind: "discover", MaxLHS: 3, Attrs: "A,B"},
+		"generation":  {Dataset: "paper", Generation: 4, Kind: "discover", MaxLHS: 3},
+	} {
+		id := vary.ID()
+		if prev, dup := seen[id]; dup {
+			t.Errorf("spec variant %q collides with %q", name, prev)
+		}
+		seen[id] = name
+	}
+}
+
 // starter wraps a sweep body in a StartFunc and counts admissions and
 // releases, so tests can assert coalescing never double-admits.
 type starter struct {

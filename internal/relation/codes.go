@@ -186,6 +186,16 @@ type Partitioner struct {
 
 	cur, nxt partBuf // ping-pong buffers for Refine
 	split    partBuf // separate output for Split
+
+	// Product scratch (see product.go): a tuple→x-class probe table and
+	// per-x-class counters, both epoch-versioned so calls never clear them.
+	prodCls   []int32
+	prodEpoch []uint64
+	prodVer   uint64
+	pcCnt     []int32
+	pcPos     []int32
+	pcEpoch   []uint64
+	pcVer     uint64
 }
 
 // NewPartitioner returns a partitioner over the instance.

@@ -1,0 +1,228 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// strippedVia computes the stripped partition of X by a from-scratch
+// BeginAll + RefineSet pass — the oracle Product must agree with.
+func strippedVia(p *Partitioner, x AttrSet) Partition {
+	p.BeginAll()
+	p.RefineSet(x)
+	pt := p.Partition()
+	out := Partition{Offsets: []int32{0}}
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		g := pt.Group(gi)
+		if len(g) < 2 {
+			continue
+		}
+		out.Tuples = append(out.Tuples, g...)
+		out.Offsets = append(out.Offsets, int32(len(out.Tuples)))
+	}
+	return out.Clone()
+}
+
+// canonPartition renders a partition as a canonical class set: classes
+// sorted internally and by first element, so two partitions with the
+// same classes in different encounter orders compare equal.
+func canonPartition(pt Partition) [][]int32 {
+	out := make([][]int32, 0, pt.NumGroups())
+	for gi := 0; gi < pt.NumGroups(); gi++ {
+		g := append([]int32(nil), pt.Group(gi)...)
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func samePartition(a, b Partition) bool {
+	ca, cb := canonPartition(a), canonPartition(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if len(ca[i]) != len(cb[i]) {
+			return false
+		}
+		for j := range ca[i] {
+			if ca[i][j] != cb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// randProductInstance mirrors the duplicate-heavy shapes of the discovery
+// oracle tests: few distinct values per column, so partitions carry real
+// multi-tuple classes at several levels.
+func randProductInstance(rng *rand.Rand) *Instance {
+	width := 3 + rng.Intn(4)
+	names := make([]string, width)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	in := NewInstance(MustSchema(names...))
+	n := 2 + rng.Intn(40)
+	for t := 0; t < n; t++ {
+		tp := make(Tuple, width)
+		for a := range tp {
+			tp[a] = Const(fmt.Sprintf("v%d", rng.Intn(2+rng.Intn(3))))
+		}
+		_ = in.Append(tp)
+	}
+	return in
+}
+
+// TestQuickProductMatchesRefineSet: π(X)·π(Y) equals the from-scratch
+// stripped partition of X∪Y across random shapes, seeds, and overlapping
+// attribute sets (the prefix-join parents of discovery always overlap in
+// k−1 attributes, but the product is exact for any pair).
+func TestQuickProductMatchesRefineSet(t *testing.T) {
+	f := func(seed int64, xRaw, yRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randProductInstance(rng)
+		full := FullSet(in.Schema.Width())
+		x := AttrSet(xRaw) & full
+		y := AttrSet(yRaw) & full
+		if x.IsEmpty() {
+			x = NewAttrSet(0)
+		}
+		if y.IsEmpty() {
+			y = NewAttrSet(in.Schema.Width() - 1)
+		}
+		p := NewPartitioner(in)
+		px := strippedVia(p, x)
+		py := strippedVia(p, y)
+		got := p.Product(px, py)
+		want := strippedVia(p, x.Union(y))
+		return samePartition(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProductIsOwned: the result survives subsequent partitioner calls
+// that overwrite the scratch buffers — the property the store relies on.
+func TestProductIsOwned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randProductInstance(rng)
+	p := NewPartitioner(in)
+	x, y := NewAttrSet(0), NewAttrSet(1)
+	px := strippedVia(p, x)
+	py := strippedVia(p, y)
+	got := p.Product(px, py)
+	snap := got.Clone()
+	// Churn every scratch path: refinement, split, and another product.
+	p.BeginAll()
+	p.RefineSet(FullSet(in.Schema.Width()))
+	if in.N() > 0 {
+		all := make([]int32, in.N())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		_ = p.Split(all, 0)
+	}
+	_ = p.Product(py, px)
+	if !samePartition(got, snap) {
+		t.Fatal("Product result aliases partitioner scratch")
+	}
+}
+
+func TestProductEmptyFactors(t *testing.T) {
+	in := NewInstance(MustSchema("A", "B"))
+	_ = in.Append(Tuple{Const("1"), Const("2")})
+	p := NewPartitioner(in)
+	empty := Partition{Offsets: []int32{0}}
+	px := strippedVia(p, NewAttrSet(0))
+	if got := p.Product(empty, px); got.NumGroups() != 0 {
+		t.Errorf("empty · π(X) has %d groups", got.NumGroups())
+	}
+	if got := p.Product(px, empty); got.NumGroups() != 0 {
+		t.Errorf("π(X) · empty has %d groups", got.NumGroups())
+	}
+}
+
+func TestPartitionStoreLevelEviction(t *testing.T) {
+	s := NewPartitionStore()
+	one := Partition{Tuples: []int32{0, 1}, Offsets: []int32{0, 2}}
+	s.Put(NewAttrSet(0), one)
+	s.Put(NewAttrSet(1), one)
+	s.Put(NewAttrSet(0, 1), one)
+	s.Put(NewAttrSet(0, 2), one)
+	if s.Len() != 4 || s.Peak() != 4 {
+		t.Fatalf("len=%d peak=%d, want 4/4", s.Len(), s.Peak())
+	}
+	// Re-putting an existing key must not inflate the counters.
+	s.Put(NewAttrSet(0), one)
+	if s.Len() != 4 || s.Peak() != 4 {
+		t.Fatalf("re-put inflated counters: len=%d peak=%d", s.Len(), s.Peak())
+	}
+	s.EvictLevel(1)
+	if s.Len() != 2 {
+		t.Fatalf("len=%d after evicting level 1, want 2", s.Len())
+	}
+	if _, ok := s.Get(NewAttrSet(0)); ok {
+		t.Fatal("evicted partition still served")
+	}
+	if _, ok := s.Get(NewAttrSet(0, 1)); !ok {
+		t.Fatal("level-2 partition lost by level-1 eviction")
+	}
+	if s.Peak() != 4 {
+		t.Fatalf("peak=%d after eviction, want the high-water 4", s.Peak())
+	}
+}
+
+// BenchmarkPartitionProduct vs BenchmarkPartitionRefineLevel measure the
+// two ways of building one level-k partition: the probe-table product of
+// two cached level-(k−1) parents against a from-scratch RefineSet — the
+// product-vs-refine cost BENCH_discovery.json records at the discovery
+// level.
+func benchProductInstance(b *testing.B) (*Instance, AttrSet, AttrSet) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	in := NewInstance(MustSchema(names...))
+	for t := 0; t < 4000; t++ {
+		tp := make(Tuple, len(names))
+		for a := range tp {
+			tp[a] = Const(fmt.Sprintf("v%d", rng.Intn(6)))
+		}
+		_ = in.Append(tp)
+	}
+	return in, NewAttrSet(0, 1), NewAttrSet(0, 2)
+}
+
+func BenchmarkPartitionProduct(b *testing.B) {
+	in, x, y := benchProductInstance(b)
+	p := NewPartitioner(in)
+	px := strippedVia(p, x)
+	py := strippedVia(p, y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Product(px, py)
+	}
+}
+
+func BenchmarkPartitionRefineLevel(b *testing.B) {
+	in, x, y := benchProductInstance(b)
+	p := NewPartitioner(in)
+	union := x.Union(y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BeginAll()
+		p.RefineSet(union)
+		_ = p.Partition()
+	}
+}

@@ -1,0 +1,189 @@
+package server
+
+// End-to-end tests of the discovery job tier (POST /v1/jobs/discover):
+// lifecycle and byte-identity with /v1/discover, content-address
+// canonicalization and coalescing, and restart-resume via deterministic
+// replay.
+
+import (
+	"net/http"
+	"testing"
+
+	"relatrust"
+)
+
+// submitDiscoverJob posts the request to /v1/jobs/discover and decodes
+// the job body.
+func submitDiscoverJob(t *testing.T, base string, req DiscoverRequest) (JobInfo, int) {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/jobs/discover", req)
+	status := resp.StatusCode
+	if status != http.StatusOK && status != http.StatusCreated {
+		t.Fatalf("submit discover job: status %d", status)
+	}
+	var info JobInfo
+	decodeBody(t, resp, &info)
+	return info, status
+}
+
+// TestDiscoverJobLifecycle: a discovery job's stream is byte-identical to
+// /v1/discover over the same knobs, identical submissions coalesce (with
+// max_lhs defaulted into the address), and the job reports its kind.
+func TestDiscoverJobLifecycle(t *testing.T) {
+	want := discoverFrames(t, keyCSV, relatrust.DiscoverOptions{MaxLHS: 2})
+	ts, _, _ := newJobServer(t, "", "", Options{})
+	registerKeyed(t, ts.URL)
+
+	info, status := submitDiscoverJob(t, ts.URL, DiscoverRequest{Dataset: "keyed", MaxLHS: 2})
+	if status != http.StatusCreated {
+		t.Fatalf("first submission status %d, want 201", status)
+	}
+	if info.Kind != "discover" || info.MaxLHS != 2 || info.Dataset != "keyed" {
+		t.Fatalf("job info = %+v", info)
+	}
+	done := waitJob(t, ts.URL, info.ID, func(i JobInfo) bool { return i.State == "completed" }, "completed")
+	if done.Rows != len(want) {
+		t.Fatalf("job finished with %d frames, want %d", done.Rows, len(want))
+	}
+
+	rows, terminal := readJobStream(t, ts.URL, info.ID, 0)
+	if terminal != nil {
+		t.Fatalf("stream terminal %+v", terminal)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("stream has %d frames, want %d", len(rows), len(want))
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("frame %d:\n  job  %s\n  want %s", i, rows[i], want[i])
+		}
+	}
+
+	// Identical resubmission coalesces onto the finished job.
+	again, status := submitDiscoverJob(t, ts.URL, DiscoverRequest{Dataset: "keyed", MaxLHS: 2})
+	if status != http.StatusOK || again.ID != info.ID {
+		t.Errorf("resubmit: status %d id %s, want 200 and %s", status, again.ID, info.ID)
+	}
+
+	// max_lhs 0 defaults to 3 before hashing, so 0 and 3 share an address
+	// — and differ from the max_lhs 2 job.
+	zero, _ := submitDiscoverJob(t, ts.URL, DiscoverRequest{Dataset: "keyed"})
+	three, status := submitDiscoverJob(t, ts.URL, DiscoverRequest{Dataset: "keyed", MaxLHS: 3})
+	if zero.ID != three.ID {
+		t.Errorf("max_lhs 0 and 3 address different jobs: %s vs %s", zero.ID, three.ID)
+	}
+	if status != http.StatusOK {
+		t.Errorf("max_lhs 3 resubmit started a new sweep (status %d)", status)
+	}
+	if zero.ID == info.ID {
+		t.Error("max_lhs 3 job coalesced onto the max_lhs 2 job")
+	}
+}
+
+// TestDiscoverJobSubmitValidation pins the submission-time errors.
+func TestDiscoverJobSubmitValidation(t *testing.T) {
+	ts, _, _ := newJobServer(t, "", "", Options{})
+	registerKeyed(t, ts.URL)
+
+	resp := postJSON(t, ts.URL+"/v1/jobs/discover", DiscoverRequest{Dataset: "nope"})
+	wantErrorCode(t, resp, http.StatusNotFound, codeUnknownDataset)
+
+	resp = postJSON(t, ts.URL+"/v1/jobs/discover", DiscoverRequest{Dataset: "keyed", Mode: "discover_then_repair"})
+	wantErrorCode(t, resp, http.StatusBadRequest, codeBadRequest)
+
+	resp = postJSON(t, ts.URL+"/v1/jobs/discover", DiscoverRequest{Dataset: "keyed", Attrs: "Name,Nope"})
+	wantErrorCode(t, resp, http.StatusBadRequest, codeBadRequest)
+
+	resp = postJSON(t, ts.URL+"/v1/jobs/discover", DiscoverRequest{Dataset: "keyed", MaxError: 2})
+	wantErrorCode(t, resp, http.StatusBadRequest, codeBadRequest)
+}
+
+// TestDiscoverJobAttrsCanonicalized: attrs spelled differently address
+// the same job once resolved against the schema.
+func TestDiscoverJobAttrsCanonicalized(t *testing.T) {
+	ts, _, _ := newJobServer(t, "", "", Options{})
+	registerKeyed(t, ts.URL)
+
+	a, _ := submitDiscoverJob(t, ts.URL, DiscoverRequest{Dataset: "keyed", Attrs: "Floor, Dept"})
+	b, _ := submitDiscoverJob(t, ts.URL, DiscoverRequest{Dataset: "keyed", Attrs: "Dept,Floor"})
+	if a.ID != b.ID {
+		t.Errorf("equivalent attrs address different jobs: %s vs %s", a.ID, b.ID)
+	}
+	if a.Attrs != "Dept,Floor" {
+		t.Errorf("canonical attrs = %q, want position order", a.Attrs)
+	}
+}
+
+// TestDiscoverJobResumesAcrossRestart: an interrupted discovery job keeps
+// its checkpointed frames, the next boot resumes it by deterministic
+// replay, and the concatenated stream is byte-identical to an
+// uninterrupted run. A third boot replays from the log without mining.
+func TestDiscoverJobResumesAcrossRestart(t *testing.T) {
+	want := discoverFrames(t, keyCSV, relatrust.DiscoverOptions{MaxLHS: 2})
+	dataDir, jobsDir := t.TempDir(), t.TempDir()
+
+	dobs := &discoverObserver{}
+	ts1, srv1, _ := newJobServer(t, dataDir, jobsDir, Options{ObserveDiscovery: dobs.observe})
+	registerKeyed(t, ts1.URL)
+
+	// Gate the mining goroutine at level 2: the level-1 FDs are already
+	// checkpointed, the run is provably unfinished.
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	dobs.set(func(_ string, level, _ int) {
+		if level == 2 {
+			close(reached)
+			<-release
+		}
+	})
+
+	info, _ := submitDiscoverJob(t, ts1.URL, DiscoverRequest{Dataset: "keyed", MaxLHS: 2})
+	<-reached
+	partial := getJob(t, ts1.URL, info.ID)
+	if partial.Rows == 0 || partial.Rows >= len(want) {
+		t.Fatalf("gated job checkpointed %d frames, want mid-run", partial.Rows)
+	}
+	srv1.BeginShutdown()
+	close(release)
+	dobs.set(nil)
+	rows, terminal := readJobStream(t, ts1.URL, info.ID, 0)
+	if terminal == nil || terminal.Code != codeShuttingDown {
+		t.Fatalf("interrupted stream terminal %+v after %d frames", terminal, len(rows))
+	}
+	ts1.Close()
+	srv1.Close()
+
+	ts2, srv2, _ := newJobServer(t, dataDir, jobsDir, Options{})
+	n, err := srv2.RecoverJobs()
+	if err != nil || n != 1 {
+		t.Fatalf("RecoverJobs = %d, %v, want 1 resumed", n, err)
+	}
+	done := waitJob(t, ts2.URL, info.ID, func(i JobInfo) bool { return i.State == "completed" }, "completed")
+	if done.Rows != len(want) {
+		t.Fatalf("resumed job finished with %d frames, want %d", done.Rows, len(want))
+	}
+	got, terminal := readJobStream(t, ts2.URL, info.ID, 0)
+	if terminal != nil {
+		t.Fatalf("resumed stream terminal %+v", terminal)
+	}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("resumed frame %d differs:\n  job  %s\n  want %s", i, got[i], want[i])
+		}
+	}
+
+	// Third boot: the record is terminal and the sigma frame closes the
+	// log, so nothing resumes and nothing mines — pure replay.
+	ts3, srv3, _ := newJobServer(t, dataDir, jobsDir, Options{})
+	n, err = srv3.RecoverJobs()
+	if err != nil || n != 0 {
+		t.Fatalf("third boot RecoverJobs = %d, %v, want 0", n, err)
+	}
+	replayed, terminal := readJobStream(t, ts3.URL, info.ID, 0)
+	if terminal != nil || len(replayed) != len(want) {
+		t.Fatalf("third-boot replay: %d frames, terminal %+v", len(replayed), terminal)
+	}
+	if d := srv3.lookup("keyed").statz(); d.SweepsStarted != 0 {
+		t.Errorf("third boot started %d sweeps, want 0 (replay only)", d.SweepsStarted)
+	}
+}

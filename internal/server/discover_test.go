@@ -1,0 +1,408 @@
+package server
+
+// End-to-end tests of POST /v1/discover — the discovery acceptance
+// criteria:
+//
+//   - mined FDs stream incrementally: the first NDJSON frame is read by
+//     the client while the lattice walk is provably still mid-flight
+//     (held at a level gate through Options.ObserveDiscovery);
+//   - the streamed frames are byte-identical, in content and order, to
+//     the frames an in-process caller builds from Discoverer.Stream;
+//   - discover_then_repair produces a frontier byte-identical to mining
+//     first and posting the sigma frame's Σ to /v1/repair;
+//   - the structured errors map like the repair family's.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"relatrust"
+)
+
+// keyCSV has Name as a key, so level 1 already emits FDs — which the
+// incrementality gate at level 2 needs — and Dept↔Floor adds non-key FDs.
+const keyCSV = `Name,Dept,Floor
+ann,eng,3
+bob,eng,3
+cam,ops,5
+dee,ops,5
+`
+
+func registerKeyed(t *testing.T, base string) {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/datasets", registerRequest{Name: "keyed", CSV: keyCSV})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+}
+
+// discoverFrames is the in-process oracle: the exact NDJSON lines the
+// server must stream for (csv, opt), fd frames first, sigma frame last.
+func discoverFrames(t *testing.T, csv string, opt relatrust.DiscoverOptions) []string {
+	t.Helper()
+	in, err := relatrust.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := relatrust.NewDiscoverer(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	var mined relatrust.FDSet
+	n := 0
+	for f, err := range dv.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		raw, err := json.Marshal(discoverFrame{N: n, FD: f.FD.Format(in.Schema), Level: f.Level, Error: f.Error})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(raw))
+		mined = append(mined, f.FD)
+	}
+	sort.Slice(mined, func(i, j int) bool {
+		if mined[i].RHS != mined[j].RHS {
+			return mined[i].RHS < mined[j].RHS
+		}
+		if mined[i].LHS.Len() != mined[j].LHS.Len() {
+			return mined[i].LHS.Len() < mined[j].LHS.Len()
+		}
+		return mined[i].LHS < mined[j].LHS
+	})
+	raw, err := json.Marshal(sigmaFrame{Sigma: mined.Format(in.Schema), FDs: len(mined)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(lines, string(raw))
+}
+
+// discoverObserver gates the mining goroutine at a lattice level, the
+// discovery counterpart of gateAtSecondTau.
+type discoverObserver struct {
+	mu sync.Mutex
+	fn func(dataset string, level, sets int)
+}
+
+func (o *discoverObserver) set(fn func(string, int, int)) {
+	o.mu.Lock()
+	o.fn = fn
+	o.mu.Unlock()
+}
+
+func (o *discoverObserver) observe(name string, level, sets int) {
+	o.mu.Lock()
+	fn := o.fn
+	o.mu.Unlock()
+	if fn != nil {
+		fn(name, level, sets)
+	}
+}
+
+// TestDiscoverStreamsIncrementally is the acceptance test: the first
+// mined FD is observed by the HTTP client strictly before the lattice
+// walk completes, and the full stream is byte-identical in content and
+// order to the in-process Discoverer.Stream frames plus the sigma frame.
+func TestDiscoverStreamsIncrementally(t *testing.T) {
+	want := discoverFrames(t, keyCSV, relatrust.DiscoverOptions{MaxLHS: 2})
+	obs := &discoverObserver{}
+	ts, _, _ := newTestServer(t, Options{ObserveDiscovery: obs.observe})
+	registerKeyed(t, ts.URL)
+
+	// Gate the mining goroutine at the start of level 2: every level-1 FD
+	// is already written and flushed, the run is provably unfinished.
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	obs.set(func(_ string, level, _ int) {
+		if level == 2 {
+			close(reached)
+			<-release
+		}
+	})
+	defer obs.set(nil)
+
+	resp := postJSON(t, ts.URL+"/v1/discover", DiscoverRequest{Dataset: "keyed", MaxLHS: 2})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading first streamed FD: %v", err)
+	}
+	select {
+	case <-reached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("mining never reached level 2")
+	}
+	// The walk is still blocked at the gate; only now let it finish.
+	close(release)
+
+	got := []string{strings.TrimSuffix(first, "\n")}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			break
+		}
+		got = append(got, strings.TrimSuffix(line, "\n"))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d frames, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("frame %d:\n  streamed %s\n  want     %s", i, got[i], want[i])
+		}
+	}
+}
+
+// ndjsonLines splits a response body into trimmed NDJSON lines.
+func ndjsonLines(t *testing.T, body []byte) []string {
+	t.Helper()
+	var lines []string
+	for _, l := range strings.Split(string(body), "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// sigmaOf finds the sigma frame in a discovery stream and returns its Σ
+// string and index.
+func sigmaOf(t *testing.T, lines []string) (string, int) {
+	t.Helper()
+	for i, l := range lines {
+		var frame struct {
+			Sigma *string `json:"sigma"`
+		}
+		if err := json.Unmarshal([]byte(l), &frame); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if frame.Sigma != nil {
+			return *frame.Sigma, i
+		}
+	}
+	t.Fatal("no sigma frame in the stream")
+	return "", -1
+}
+
+// TestDiscoverThenRepairMatchesTwoStep: the repair section of one
+// mode=discover_then_repair response is byte-identical to mining first
+// and posting the sigma frame's Σ to /v1/repair. Approximate mining
+// (max_error) makes the mined FDs almost-hold, so the sweep does real
+// work.
+func TestDiscoverThenRepairMatchesTwoStep(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	registerPaper(t, ts.URL)
+
+	disc := DiscoverRequest{Dataset: "paper", MaxLHS: 2, MaxError: 0.3, Seed: 9}
+
+	// Step 1 of the two-step flow: mine alone, keep the sigma frame.
+	status, mineBody := goldenBody(t, http.MethodPost, ts.URL+"/v1/discover", disc, "")
+	if status != http.StatusOK {
+		t.Fatalf("discover status %d: %s", status, mineBody)
+	}
+	mineLines := ndjsonLines(t, mineBody)
+	sigma, sigmaAt := sigmaOf(t, mineLines)
+	if sigmaAt != len(mineLines)-1 {
+		t.Fatalf("sigma frame at %d, want last (%d)", sigmaAt, len(mineLines)-1)
+	}
+	if sigma == "" {
+		t.Fatal("mined Σ is empty; the fixture should mine approximate FDs")
+	}
+
+	// Step 2: repair against the mined Σ.
+	status, repBody := goldenBody(t, http.MethodPost, ts.URL+"/v1/repair",
+		RepairRequest{Dataset: "paper", FDs: sigma, Seed: 9}, "")
+	if status != http.StatusOK {
+		t.Fatalf("repair status %d: %s", status, repBody)
+	}
+	twoStep := ndjsonLines(t, repBody)
+
+	// Combined mode: same discovery knobs, same repair knobs, one request.
+	combined := disc
+	combined.Mode = "discover_then_repair"
+	status, comboBody := goldenBody(t, http.MethodPost, ts.URL+"/v1/discover", combined, "")
+	if status != http.StatusOK {
+		t.Fatalf("combined status %d: %s", status, comboBody)
+	}
+	comboLines := ndjsonLines(t, comboBody)
+	_, comboSigmaAt := sigmaOf(t, comboLines)
+
+	// The mining prefix is identical, and the rows after the sigma frame
+	// are exactly the two-step frontier.
+	if mining := comboLines[:comboSigmaAt+1]; len(mining) != len(mineLines) {
+		t.Fatalf("combined mining prefix has %d frames, two-step %d", len(mining), len(mineLines))
+	}
+	for i, l := range comboLines[:comboSigmaAt+1] {
+		if l != mineLines[i] {
+			t.Errorf("mining frame %d:\n  combined %s\n  two-step %s", i, l, mineLines[i])
+		}
+	}
+	rows := comboLines[comboSigmaAt+1:]
+	if len(rows) != len(twoStep) {
+		t.Fatalf("combined repair section has %d rows, two-step %d:\n%s",
+			len(rows), len(twoStep), strings.Join(rows, "\n"))
+	}
+	for i := range twoStep {
+		if rows[i] != twoStep[i] {
+			t.Errorf("repair row %d:\n  combined %s\n  two-step %s", i, rows[i], twoStep[i])
+		}
+	}
+}
+
+// TestDiscoverThenRepairEmptySigma: when mining finds nothing, the
+// appended sweep has no Σ to repair against — in-band empty_fd_set after
+// the (empty) sigma frame.
+func TestDiscoverThenRepairEmptySigma(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	// No FD holds in either direction, even approximately at 0 error.
+	resp := postJSON(t, ts.URL+"/v1/datasets", registerRequest{Name: "nofd", CSV: "A,B\n1,1\n1,2\n2,1\n2,2\n"})
+	resp.Body.Close()
+
+	status, body := goldenBody(t, http.MethodPost, ts.URL+"/v1/discover",
+		DiscoverRequest{Dataset: "nofd", MaxLHS: 1, Mode: "discover_then_repair"}, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	lines := ndjsonLines(t, body)
+	sigma, at := sigmaOf(t, lines)
+	if sigma != "" || at != 0 {
+		t.Fatalf("want empty sigma frame first, got %q at %d", sigma, at)
+	}
+	var errFrame ErrorBody
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &errFrame); err != nil {
+		t.Fatal(err)
+	}
+	if errFrame.Error.Code != codeEmptyFDSet {
+		t.Errorf("in-band error code = %q, want %q", errFrame.Error.Code, codeEmptyFDSet)
+	}
+}
+
+// TestDiscoverErrors pins the pre-stream error mapping of /v1/discover.
+func TestDiscoverErrors(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	registerKeyed(t, ts.URL)
+
+	cases := []struct {
+		name   string
+		req    DiscoverRequest
+		status int
+		code   string
+	}{
+		{"unknown dataset", DiscoverRequest{Dataset: "nope"}, http.StatusNotFound, codeUnknownDataset},
+		{"bad attrs name", DiscoverRequest{Dataset: "keyed", Attrs: "Name,Nope"}, http.StatusBadRequest, codeBadRequest},
+		{"bad mode", DiscoverRequest{Dataset: "keyed", Mode: "repair_then_discover"}, http.StatusBadRequest, codeBadRequest},
+		{"negative max_error", DiscoverRequest{Dataset: "keyed", MaxError: -0.1}, http.StatusBadRequest, codeBadRequest},
+		{"max_error above 1", DiscoverRequest{Dataset: "keyed", MaxError: 1.5}, http.StatusBadRequest, codeBadRequest},
+		{"negative max_lhs", DiscoverRequest{Dataset: "keyed", MaxLHS: -1}, http.StatusBadRequest, codeBadRequest},
+		{"negative tau_low", DiscoverRequest{Dataset: "keyed", TauLow: -1}, http.StatusBadRequest, codeBadRequest},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/discover", c.req)
+		detail := wantErrorCode(t, resp, c.status, c.code)
+		if detail.Message == "" {
+			t.Errorf("%s: empty message", c.name)
+		}
+	}
+
+	// Unknown fields are a malformed request, same as the repair decoder.
+	resp, err := http.Post(ts.URL+"/v1/discover", "application/json",
+		strings.NewReader(`{"dataset":"keyed","surprise":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrorCode(t, resp, http.StatusBadRequest, codeBadRequest)
+
+	// An attrs restriction outside the schema is the same mismatch class
+	// as a misfit FD: 422 schema_mismatch. The HTTP path cannot produce it
+	// (names resolve against the schema), so pin the mapping directly.
+	if status, body := mapError(&relatrust.AttrsRangeError{Attr: 7, Width: 3}, nil); status != http.StatusUnprocessableEntity || body.Error.Code != codeSchemaMismatch {
+		t.Errorf("AttrsRangeError maps to %d %s", status, body.Error.Code)
+	}
+}
+
+// TestDiscoverMaxResults: the cap truncates the stream without an error,
+// and the sigma frame carries exactly the streamed FDs.
+func TestDiscoverMaxResults(t *testing.T) {
+	ts, _, _ := newTestServer(t, Options{})
+	registerKeyed(t, ts.URL)
+
+	status, body := goldenBody(t, http.MethodPost, ts.URL+"/v1/discover",
+		DiscoverRequest{Dataset: "keyed", MaxLHS: 2, MaxResults: 2}, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	lines := ndjsonLines(t, body)
+	sigma, at := sigmaOf(t, lines)
+	if at != 2 {
+		t.Fatalf("want 2 fd frames before sigma, got %d:\n%s", at, strings.Join(lines, "\n"))
+	}
+	var frame struct {
+		FDs int `json:"fds"`
+	}
+	if err := json.Unmarshal([]byte(lines[at]), &frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame.FDs != 2 || sigma == "" {
+		t.Errorf("sigma frame = %s, want 2 FDs", lines[at])
+	}
+}
+
+// TestDiscoverSharesSweepAdmission: a discovery run holds a sweep slot,
+// so a saturated dataset sheds it with 429 like any sweep.
+func TestDiscoverSharesSweepAdmission(t *testing.T) {
+	obs := &discoverObserver{}
+	ts, _, _ := newTestServer(t, Options{ObserveDiscovery: obs.observe, MaxSweepsPerDataset: 1})
+	registerKeyed(t, ts.URL)
+
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	obs.set(func(_ string, level, _ int) {
+		once.Do(func() {
+			close(reached)
+			<-release
+		})
+	})
+	defer obs.set(nil)
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/discover", "application/json",
+			strings.NewReader(`{"dataset":"keyed"}`))
+		if err == nil {
+			_, err = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	select {
+	case <-reached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first discovery never started mining")
+	}
+	resp := postJSON(t, ts.URL+"/v1/discover", DiscoverRequest{Dataset: "keyed"})
+	wantErrorCode(t, resp, http.StatusTooManyRequests, codeOverloaded)
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

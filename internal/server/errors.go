@@ -71,6 +71,8 @@ const statusClientClosedRequest = 499
 //	ErrEmptyFDSet       → 400 empty_fd_set
 //	ErrEmptyInstance    → 422 empty_instance
 //	ErrSchemaMismatch   → 422 schema_mismatch (carries the FD)
+//	AttrsRangeError     → 422 schema_mismatch (a discovery attrs restriction
+//	                      outside the schema)
 //	ErrNoRepairInBudget → 409 no_repair_in_budget (carries τ)
 //	ErrMaxVisited       → 503 max_visited (carries the visited count)
 //	DeadlineExceeded    → 504 deadline_exceeded
@@ -84,9 +86,14 @@ func mapError(err error, schema *relatrust.Schema) (int, ErrorBody) {
 	detail := ErrorDetail{Message: err.Error()}
 	var status int
 	var sm *relatrust.SchemaMismatchError
+	var ar *relatrust.AttrsRangeError
 	var be *relatrust.BudgetError
 	var mv *relatrust.MaxVisitedError
 	switch {
+	case errors.As(err, &ar):
+		// A discovery attrs restriction referencing a column the schema does
+		// not have — the same shape mismatch class as a misfit FD.
+		status, detail.Code = http.StatusUnprocessableEntity, codeSchemaMismatch
 	case errors.As(err, &sm):
 		status, detail.Code = http.StatusUnprocessableEntity, codeSchemaMismatch
 		if schema != nil && sm.FD.RHS < schema.Width() && sm.FD.LHS.Max() < schema.Width() {

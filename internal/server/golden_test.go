@@ -112,6 +112,36 @@ func TestGoldenFrontierSSE(t *testing.T) {
 	checkGolden(t, "frontier.sse.golden", got)
 }
 
+func TestGoldenDiscoverNDJSON(t *testing.T) {
+	h := goldenServer(t)
+	status, got := goldenBody(t, http.MethodPost, h.URL+"/v1/discover",
+		DiscoverRequest{Dataset: "paper", MaxLHS: 2}, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	checkGolden(t, "discover.ndjson.golden", got)
+}
+
+func TestGoldenDiscoverSSE(t *testing.T) {
+	h := goldenServer(t)
+	status, got := goldenBody(t, http.MethodPost, h.URL+"/v1/discover",
+		DiscoverRequest{Dataset: "paper", MaxLHS: 2}, "text/event-stream")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	checkGolden(t, "discover.sse.golden", got)
+}
+
+func TestGoldenDiscoverThenRepairNDJSON(t *testing.T) {
+	h := goldenServer(t)
+	status, got := goldenBody(t, http.MethodPost, h.URL+"/v1/discover",
+		DiscoverRequest{Dataset: "paper", MaxLHS: 2, MaxError: 0.3, Mode: "discover_then_repair", Seed: 1}, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	checkGolden(t, "discover.then_repair.ndjson.golden", got)
+}
+
 func TestGoldenBudgetRepair(t *testing.T) {
 	h := goldenServer(t)
 	tau := 2

@@ -44,8 +44,15 @@ type JobInfo struct {
 	Seed           int64  `json:"seed,omitempty"`
 	IncludeChanges bool   `json:"include_changes,omitempty"`
 	// Generation is the dataset mutation generation the job answers for.
-	Generation int64  `json:"generation,omitempty"`
-	State      string `json:"state"`
+	Generation int64 `json:"generation,omitempty"`
+	// Kind distinguishes job bodies: "" is a frontier sweep, "discover"
+	// an FD-mining run addressed by the discovery knobs below.
+	Kind       string  `json:"kind,omitempty"`
+	MaxLHS     int     `json:"max_lhs,omitempty"`
+	MaxError   float64 `json:"max_error,omitempty"`
+	MaxResults int     `json:"max_results,omitempty"`
+	Attrs      string  `json:"attrs,omitempty"`
+	State      string  `json:"state"`
 	// Rows is how many frontier rows are checkpointed and streamable.
 	Rows  int          `json:"rows"`
 	Error *ErrorDetail `json:"error,omitempty"`
@@ -57,7 +64,9 @@ func jobInfo(st jobs.Status) JobInfo {
 		TauLow: st.TauLow, TauHigh: st.TauHigh, Weights: st.Weights,
 		Seed: st.Seed, IncludeChanges: st.IncludeChanges,
 		Generation: st.Generation,
-		State:      string(st.State), Rows: st.Rows,
+		Kind:       st.Kind, MaxLHS: st.MaxLHS, MaxError: st.MaxError,
+		MaxResults: st.MaxResults, Attrs: st.Attrs,
+		State: string(st.State), Rows: st.Rows,
 	}
 	if st.ErrorCode != "" {
 		info.Error = &ErrorDetail{Code: st.ErrorCode, Message: st.ErrorMessage}
@@ -177,6 +186,191 @@ func (s *Server) jobStarter(d *dataset, req RepairRequest) jobs.StartFunc {
 	}
 }
 
+// discoverJobSpec canonicalizes a discovery submission into its content
+// address: attribute names are resolved and re-formatted against the
+// schema, and MaxLHS is defaulted before hashing, so "max_lhs": 0 and
+// "max_lhs": 3 coalesce onto one job.
+func (s *Server) discoverJobSpec(d *dataset, req DiscoverRequest) (jobs.Spec, error) {
+	if req.Mode != "" {
+		return jobs.Spec{}, fmt.Errorf("discovery jobs run the mining phase only; mode must be empty")
+	}
+	if req.MaxLHS < 0 || req.MaxResults < 0 {
+		return jobs.Spec{}, fmt.Errorf("max_lhs and max_results must be non-negative")
+	}
+	if req.MaxError < 0 || req.MaxError > 1 {
+		return jobs.Spec{}, fmt.Errorf("max_error must be within [0, 1]")
+	}
+	in := d.live.Rows()
+	attrs := ""
+	if req.Attrs != "" {
+		set, err := in.Schema.ParseAttrs(req.Attrs)
+		if err != nil {
+			return jobs.Spec{}, err
+		}
+		attrs = set.Names(in.Schema)
+	}
+	maxLHS := req.MaxLHS
+	if maxLHS == 0 {
+		maxLHS = 3 // the facade default, pinned into the address
+	}
+	return jobs.Spec{
+		Dataset:    d.name,
+		Generation: d.live.Generation(),
+		Kind:       "discover",
+		MaxLHS:     maxLHS,
+		MaxError:   req.MaxError,
+		MaxResults: req.MaxResults,
+		Attrs:      attrs,
+	}, nil
+}
+
+// handleSubmitDiscoverJob admits (or coalesces) a discovery job: the
+// mining phase of /v1/discover, detached from the connection, with the
+// same checkpoint/replay contract as sweep jobs — each fd frame persists
+// before a follower sees it, and the stream of a resumed job is
+// byte-identical to an uninterrupted run because mining is deterministic.
+func (s *Server) handleSubmitDiscoverJob(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeDiscoverRequest(http.MaxBytesReader(w, r.Body, s.opt.MaxUploadBytes))
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, codeBadRequest, "decoding discover job request: %v", err)
+		return
+	}
+	d := s.lookup(req.Dataset)
+	if d == nil {
+		writeErrorCode(w, http.StatusNotFound, codeUnknownDataset, "dataset %q is not registered", req.Dataset)
+		return
+	}
+	spec, err := s.discoverJobSpec(d, req)
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	j, started, err := s.jobs.Submit(spec, s.discoverJobStarter(d))
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		writeErrorCode(w, http.StatusServiceUnavailable, codeShuttingDown, "server is shutting down")
+		return
+	case errors.Is(err, errOverloaded):
+		d.mu.Lock()
+		d.sweepsShed++
+		d.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeErrorCode(w, http.StatusTooManyRequests, codeOverloaded,
+			"sweep capacity for dataset %q is saturated; retry shortly", d.name)
+		return
+	case err != nil:
+		writeErrorCode(w, http.StatusInternalServerError, codeStorage, "%v", err)
+		return
+	}
+	status := http.StatusOK
+	if started {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, jobInfo(j.Status()))
+}
+
+// discoverJobStarter is jobStarter for discovery jobs: same admission,
+// same slot accounting, a mining body instead of a sweep.
+func (s *Server) discoverJobStarter(d *dataset) jobs.StartFunc {
+	return func(j *jobs.Job) (jobs.Sweep, func(), error) {
+		if err := s.beginSweepSlot(d); err != nil {
+			return nil, nil, err
+		}
+		d.mu.Lock()
+		d.sweepsStarted++
+		d.mu.Unlock()
+		return s.discoverJobSweep(d, j), func() { s.endSweepSlot(d) }, nil
+	}
+}
+
+// isSigmaFrame reports whether a checkpointed frame is the terminal sigma
+// frame — its presence in the log is how a resume knows mining finished
+// and only the terminal record write was lost.
+func isSigmaFrame(frame []byte) bool {
+	var probe struct {
+		Sigma *string `json:"sigma"`
+	}
+	return json.Unmarshal(frame, &probe) == nil && probe.Sigma != nil
+}
+
+// discoverJobSweep builds the manager's sweep body for a discovery job.
+// Resume leans on determinism instead of a τ bound: mining emits FDs in a
+// fixed order for a fixed (instance, knobs), so a job holding k
+// checkpointed frames re-runs the walk and skips the first k emissions —
+// the concatenation is byte-identical to an uninterrupted run. A log
+// whose last frame is the sigma frame is already complete.
+func (s *Server) discoverJobSweep(d *dataset, j *jobs.Job) jobs.Sweep {
+	return func(ctx context.Context, emit func(frame []byte) error) (err error) {
+		rows := 0
+		defer func() {
+			if rec := recover(); rec != nil {
+				stack := debug.Stack()
+				s.panics.Add(1)
+				s.log.Error("server: panic during discovery job",
+					"dataset", d.name, "job", j.ID, "panic", rec, "stack", string(stack))
+				err = &relatrust.PanicError{Value: rec, Stack: stack}
+			}
+			d.sweepDone(rows, err)
+		}()
+		in, sess, gen := s.snapshotFor(d)
+		if j.Generation != gen {
+			return fmt.Errorf("%w: job answers for generation %d, dataset is at %d",
+				jobs.ErrDatasetMutated, j.Generation, gen)
+		}
+		skip := j.Rows()
+		if frames := j.Frames(); skip > 0 && isSigmaFrame(frames[skip-1]) {
+			return nil // mining finished; the crash hit before the terminal record
+		}
+		var attrs relatrust.AttrSet
+		if j.Attrs != "" {
+			if attrs, err = in.Schema.ParseAttrs(j.Attrs); err != nil {
+				return err
+			}
+		}
+		opt := relatrust.DiscoverOptions{
+			MaxLHS: j.MaxLHS, MaxError: j.MaxError, MaxResults: j.MaxResults,
+			Attrs: attrs, Session: sess,
+		}
+		if observe := s.opt.ObserveDiscovery; observe != nil {
+			opt.Progress = func(level, sets int) { observe(d.name, level, sets) }
+		}
+		dv, err := relatrust.NewDiscoverer(in, opt)
+		if err != nil {
+			return err
+		}
+		n := 0
+		var mined relatrust.FDSet
+		for f, ferr := range dv.Stream(ctx) {
+			if ferr != nil {
+				return ferr
+			}
+			n++
+			mined = append(mined, f.FD)
+			if n <= skip {
+				continue // deterministic replay of an already-checkpointed frame
+			}
+			raw, merr := json.Marshal(discoverFrame{N: n, FD: f.FD.Format(in.Schema), Level: f.Level, Error: f.Error})
+			if merr != nil {
+				return merr
+			}
+			if eerr := emit(raw); eerr != nil {
+				return eerr
+			}
+			rows++
+		}
+		sortSigma(mined)
+		raw, merr := json.Marshal(sigmaFrame{Sigma: mined.Format(in.Schema), FDs: len(mined)})
+		if merr != nil {
+			return merr
+		}
+		if eerr := emit(raw); eerr != nil {
+			return eerr
+		}
+		rows++
+		return nil
+	}
+}
+
 // RecoverJobs rehydrates persisted jobs after Rehydrate: terminal jobs
 // become streamable from their result logs, and records still "running"
 // resume sweeping from their last checkpointed row. Boot-time admission
@@ -187,6 +381,15 @@ func (s *Server) RecoverJobs() (int, error) {
 		d := s.lookup(j.Dataset)
 		if d == nil {
 			return nil, nil, fmt.Errorf("%w: dataset %q is not registered", jobs.ErrDatasetDeleted, j.Dataset)
+		}
+		if j.Kind == "discover" {
+			if err := s.waitSweepSlot(d); err != nil {
+				return nil, nil, err
+			}
+			d.mu.Lock()
+			d.sweepsStarted++
+			d.mu.Unlock()
+			return s.discoverJobSweep(d, j), func() { s.endSweepSlot(d) }, nil
 		}
 		req := RepairRequest{
 			Dataset: j.Dataset, FDs: j.FDs, TauLow: j.TauLow,

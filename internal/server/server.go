@@ -12,6 +12,8 @@
 // relatrust.Repairer facade:
 //
 //	POST  /v1/repair               stream the Pareto frontier (NDJSON, or SSE via Accept)
+//	POST  /v1/discover             mine FDs from the data and stream each (mode
+//	                               discover_then_repair appends a frontier sweep over the mined Σ)
 //	POST  /v1/repair/budget        the single repair for one cell-change budget τ
 //	POST  /v1/sample               k sampled minimal data-only repairs
 //	POST  /v1/violations           violating tuple pairs for an FD set
@@ -124,6 +126,11 @@ type Options struct {
 	// for logging, metrics, and by the test harness to pause a sweep at a
 	// known point.
 	Observe func(dataset string, ev relatrust.ProgressEvent)
+	// ObserveDiscovery, when non-nil, receives every discovery run's
+	// lattice-level progress (relatrust.DiscoverOptions.Progress) tagged
+	// with the dataset name. Same contract as Observe: synchronous on the
+	// mining goroutine, keep it fast.
+	ObserveDiscovery func(dataset string, level, sets int)
 	// MaxConcurrentSweeps caps sweeps running across ALL datasets; a
 	// request that finds the cap (or its dataset's semaphore) saturated is
 	// shed with 429 + Retry-After instead of queueing. 0 selects 8.
@@ -279,11 +286,13 @@ func New(opt Options) *Server {
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
 	mux.HandleFunc("PATCH /v1/datasets/{name}/rows", s.handleMutateRows)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("POST /v1/jobs/discover", s.handleSubmitDiscoverJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
 	mux.HandleFunc("POST /v1/repair/budget", s.handleBudget)
 	mux.HandleFunc("POST /v1/sample", s.handleSample)
 	mux.HandleFunc("POST /v1/violations", s.handleViolations)

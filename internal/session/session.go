@@ -62,6 +62,12 @@ type Engine struct {
 	roots    []rootEntry
 	acquires int64
 	builds   int64
+
+	// parts caches stripped partitions for FD discovery over this
+	// engine's instance, built lazily on first use. Like the roots, it
+	// answers for exactly one snapshot: a live-dataset mutation builds a
+	// new engine and therefore a fresh, empty store.
+	parts *relation.PartitionStore
 }
 
 // rootEntry is one cached root: identified by its FD set (compared
@@ -242,6 +248,20 @@ func (e *Engine) Release(a *conflict.Analysis) {
 	if a != nil {
 		a.Release()
 	}
+}
+
+// Partitions returns the engine's shared stripped-partition store,
+// creating it on first use. Discovery runs over the same session reuse
+// each other's partitions (level-1 partitions in particular survive
+// level-wise eviction); the store answers for this engine's snapshot
+// only, so cross-generation reuse never happens.
+func (e *Engine) Partitions() *relation.PartitionStore {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.parts == nil {
+		e.parts = relation.NewPartitionStore()
+	}
+	return e.parts
 }
 
 // Stats reports engine effort: how many analyses were handed out and how

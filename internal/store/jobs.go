@@ -71,6 +71,16 @@ type JobRecord struct {
 	// for; a mismatch at recovery fails the job instead of resuming it.
 	Generation int64 `json:"generation,omitempty"`
 
+	// Kind distinguishes job bodies ("" = frontier sweep, "discover" =
+	// FD mining); the discovery knobs below are set only for the latter.
+	// All are additive and omitempty, so pre-upgrade records decode with
+	// their zero values and keep their ids.
+	Kind       string  `json:"kind,omitempty"`
+	MaxLHS     int     `json:"max_lhs,omitempty"`
+	MaxError   float64 `json:"max_error,omitempty"`
+	MaxResults int     `json:"max_results,omitempty"`
+	Attrs      string  `json:"attrs,omitempty"`
+
 	State        string `json:"state"`
 	ErrorCode    string `json:"error_code,omitempty"`
 	ErrorMessage string `json:"error_message,omitempty"`
